@@ -1,0 +1,205 @@
+package ipipe
+
+import (
+	"repro/internal/actor"
+	"repro/internal/apps/dt"
+	"repro/internal/apps/nf"
+	"repro/internal/apps/rkv"
+	"repro/internal/apps/rta"
+	"repro/internal/core"
+	"repro/internal/nstack"
+)
+
+// This file re-exports the three distributed applications of §4 (and
+// the §5.7 network functions) behind deployment helpers, so examples
+// and downstream users can stand up the paper's workloads in a few
+// lines.
+
+// --- Replicated key-value store (Multi-Paxos + LSM) -------------------
+
+// RKV aliases for the replicated key-value store.
+type (
+	// RKVDeployment is a deployed replica group.
+	RKVDeployment = rkv.Deployment
+	// RKVReplica is one replica's actor set.
+	RKVReplica = rkv.Replica
+)
+
+// RKV message kinds and helpers.
+const (
+	RKVKindReq   = rkv.KindReq
+	RKVStatusOK  = rkv.StatusOK
+	RKVNotFound  = rkv.StatusNotFound
+	RKVRedirect  = rkv.StatusRedirect
+	RKVKindElect = rkv.KindElect
+)
+
+// DeployRKV registers the four RKV actor kinds on each node; the first
+// node starts as Paxos leader. memLimit is the Memtable size that
+// triggers minor compaction; onNIC offloads consensus and Memtable
+// actors to the SmartNIC where available.
+func DeployRKV(nodes []*Node, baseID ActorID, memLimit int, onNIC bool) (*RKVDeployment, error) {
+	return rkv.Deploy(nodes, baseID, memLimit, onNIC)
+}
+
+// RKVPut / RKVGet / RKVDel build client request payloads.
+func RKVPut(key, value []byte) []byte { return rkv.PutReq(key, value) }
+
+// RKVGet builds a read request payload.
+func RKVGet(key []byte) []byte { return rkv.GetReq(key) }
+
+// RKVDel builds a delete request payload.
+func RKVDel(key []byte) []byte { return rkv.DelReq(key) }
+
+// --- Distributed transactions (OCC + 2PC) ------------------------------
+
+// DT aliases for the transaction system.
+type (
+	// DTCoordinator drives the four-phase protocol.
+	DTCoordinator = dt.Coordinator
+	// DTStore is a participant's extensible hash table.
+	DTStore = dt.Store
+	// DTTxn is a client transaction.
+	DTTxn = dt.Txn
+	// DTOp is one read or write operation.
+	DTOp = dt.Op
+)
+
+// DT message kinds and outcomes.
+const (
+	DTKindTxn   = dt.KindTxn
+	DTCommitted = dt.OutcomeCommitted
+	DTAborted   = dt.OutcomeAborted
+)
+
+// DeployDT registers a transaction coordinator (plus host logging
+// actor) on coordNode and one participant per entry of partNodes.
+// Returned stores expose each participant's data for inspection.
+func DeployDT(coordNode *Node, partNodes []*Node, baseID ActorID, onNIC bool) (*DTCoordinator, []*DTStore, error) {
+	var partIDs []actor.ID
+	var stores []*dt.Store
+	for i, n := range partNodes {
+		st := dt.NewStore()
+		id := baseID + 1 + ActorID(i)
+		if err := n.Register(dt.NewParticipant(id, st), onNIC, 0); err != nil {
+			return nil, nil, err
+		}
+		partIDs = append(partIDs, id)
+		stores = append(stores, st)
+	}
+	loggerID := baseID + 1 + ActorID(len(partNodes))
+	if err := coordNode.Register(dt.NewLogger(loggerID, nil), false, 0); err != nil {
+		return nil, nil, err
+	}
+	coord := dt.NewCoordinator(baseID, partIDs, loggerID)
+	if err := coordNode.Register(coord.Actor, onNIC, 0); err != nil {
+		return nil, nil, err
+	}
+	return coord, stores, nil
+}
+
+// DTEncodeTxn / DTDecodeOutcome translate between transactions and wire
+// payloads.
+func DTEncodeTxn(t DTTxn) []byte { return dt.EncodeTxn(t) }
+
+// DTDecodeOutcome splits a client response into outcome byte and read
+// values.
+func DTDecodeOutcome(p []byte) (byte, map[string][]byte) { return dt.DecodeOutcome(p) }
+
+// --- Real-time analytics ------------------------------------------------
+
+// RTA aliases.
+type (
+	// RTATopology wires filter → counter → ranker → aggregator.
+	RTATopology = rta.Topology
+	// RTAEntry is one ranked token.
+	RTAEntry = rta.Entry
+)
+
+// RTAKindTuples is the client-facing message kind.
+const RTAKindTuples = rta.KindTuples
+
+// DeployRTA registers a filter→counter→ranker pipeline on node,
+// forwarding consolidated top-n views to an aggregator actor created on
+// aggNode's host; onUpdate observes each consolidated view.
+func DeployRTA(node, aggNode *Node, baseID ActorID, discard []string, topN int, onNIC bool, onUpdate func([]RTAEntry)) (RTATopology, error) {
+	topo := RTATopology{
+		Filter:     baseID,
+		Counter:    baseID + 1,
+		Ranker:     baseID + 2,
+		Aggregator: baseID + 3,
+	}
+	agg, _ := rta.NewAggregator(topo.Aggregator, topN, onUpdate)
+	if err := aggNode.Register(agg, false, 0); err != nil {
+		return topo, err
+	}
+	f, _ := rta.NewFilter(topo.Filter, topo, discard)
+	c, _ := rta.NewCounter(topo.Counter, topo, rta.CounterConfig{})
+	r, _ := rta.NewRanker(topo.Ranker, topo, topN)
+	for _, a := range []*Actor{f, c, r} {
+		if err := node.Register(a, onNIC, 0); err != nil {
+			return topo, err
+		}
+	}
+	return topo, nil
+}
+
+// RTAEncodeTuples packs tuples for a client request.
+func RTAEncodeTuples(tuples []string) []byte { return rta.EncodeTuples(tuples) }
+
+// RTADecodeCounts unpacks an aggregator/ranker payload.
+func RTADecodeCounts(p []byte) map[string]uint32 { return rta.DecodeCounts(p) }
+
+// --- Network functions ---------------------------------------------------
+
+// NF aliases.
+type (
+	// FirewallRule is a wildcard TCAM entry.
+	FirewallRule = nf.Rule
+	// FiveTuple is the firewall classification key.
+	FiveTuple = nf.FiveTuple
+)
+
+// Firewall verdicts.
+const (
+	NFAllow = nf.VerdictAllow
+	NFDeny  = nf.VerdictDeny
+)
+
+// DeployFirewall registers a software-TCAM firewall actor on the node.
+func DeployFirewall(node *Node, id ActorID, rules []FirewallRule, onNIC bool) error {
+	fw := nf.NewFirewall(id, nf.NewTCAM(rules))
+	return node.Register(fw, onNIC, 0)
+}
+
+// DeployIPSec registers an IPSec gateway actor (AES-256-CTR + SHA-1,
+// accelerator-assisted on the NIC).
+func DeployIPSec(node *Node, id ActorID, key, macKey []byte, onNIC bool) error {
+	st, err := nf.NewIPSecState(key, macKey)
+	if err != nil {
+		return err
+	}
+	return node.Register(nf.NewIPSecGateway(id, st), onNIC, 0)
+}
+
+// UniformFirewallRules synthesizes n wildcard rules for experiments.
+func UniformFirewallRules(n int) []FirewallRule { return nf.UniformRules(n) }
+
+// Shim networking stack (Table 4's Nstack API): real Ethernet/IPv4/UDP
+// framing for clients that want to send wire-format packets through the
+// network functions.
+type (
+	// NetAddr is an L2/L3/L4 endpoint for Encap.
+	NetAddr = nstack.Addr
+	// NetMAC is an Ethernet address.
+	NetMAC = nstack.MAC
+)
+
+// Encap builds a real Ethernet/IPv4/UDP frame (with a valid IPv4
+// checksum) around payload.
+func Encap(src, dst NetAddr, payload []byte, ttl uint8) []byte {
+	return nstack.Encap(src, dst, payload, ttl)
+}
+
+// unexported compile-time checks that the facade stays wired.
+var _ = core.DefaultRegionBytes

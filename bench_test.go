@@ -1,0 +1,67 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark iteration regenerates the
+// experiment end to end through the simulation (in quick mode, so
+// `go test -bench=. -benchmem` completes in minutes); run
+// `go run ./cmd/ipipe-bench all` for the full-resolution sweeps with
+// the rendered tables.
+package ipipe_test
+
+import (
+	"testing"
+
+	ipipe "repro"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := ipipe.Experiment(id, true, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// §2.2.2 traffic control characterization.
+func BenchmarkFig2_BandwidthVsCores10GbE(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3_BandwidthVsCores25GbE(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4_BandwidthVsProcLatency(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5_LatencyAtMaxThroughput(b *testing.B) { benchExperiment(b, "fig5") }
+
+// §2.2.3 computing units.
+func BenchmarkFig6_MessagingLatency(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkTable3_WorkloadsAndAccels(b *testing.B) { benchExperiment(b, "table3") }
+
+// §2.2.4 onboard memory.
+func BenchmarkTable2_MemoryHierarchy(b *testing.B) { benchExperiment(b, "table2") }
+
+// §2.2.5 host communication.
+func BenchmarkFig7_DMALatency(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8_DMAThroughput(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9_RDMALatency(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10_RDMAThroughput(b *testing.B) { benchExperiment(b, "fig10") }
+
+// §5.2–§5.3 application evaluation.
+func BenchmarkFig13_HostCoreSavings(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFig14_LatencyVsPerCore10GbE(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15_LatencyVsPerCore25GbE(b *testing.B) { benchExperiment(b, "fig15") }
+
+// §5.4 scheduler, §5.5 overheads, Appendix B.3 migration.
+func BenchmarkFig16_SchedulerDisciplines(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17_FrameworkOverhead(b *testing.B)    { benchExperiment(b, "fig17") }
+func BenchmarkFig18_MigrationBreakdown(b *testing.B)   { benchExperiment(b, "fig18") }
+
+// §5.6 Floem comparison and §5.7 network functions.
+func BenchmarkFloem_RTAPerCore(b *testing.B) { benchExperiment(b, "floem") }
+func BenchmarkNF_FirewallIPSec(b *testing.B) { benchExperiment(b, "nf") }
+
+// Ablations of the design choices DESIGN.md calls out.
+func BenchmarkAblateRingBatching(b *testing.B)   { benchExperiment(b, "ablate-ring") }
+func BenchmarkAblateQueueModel(b *testing.B)     { benchExperiment(b, "ablate-queue") }
+func BenchmarkAblateAccelBatching(b *testing.B)  { benchExperiment(b, "ablate-accel") }
+func BenchmarkAblateMigrationOnOff(b *testing.B) { benchExperiment(b, "ablate-migration") }
+func BenchmarkAblateWorkingSet(b *testing.B)     { benchExperiment(b, "ablate-workingset") }
+func BenchmarkTable3Live(b *testing.B)           { benchExperiment(b, "table3-live") }

@@ -1,0 +1,53 @@
+// Command ipipe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ipipe-bench [-quick] [-seed N] [experiment ...]
+//
+// With no arguments it lists the available experiment ids; "all" runs
+// everything in paper order. Output is one aligned text table per
+// experiment, with notes comparing against the numbers the paper
+// reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim sweeps and windows for a fast run")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	ids := flag.Args()
+	if *list || len(ids) == 0 {
+		fmt.Println("experiments (run with: ipipe-bench [ids...] or 'all'):")
+		for _, id := range bench.IDs() {
+			fmt.Printf("  %-8s %s\n", id, bench.Title(id))
+		}
+		return
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = bench.IDs()
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		r, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipipe-bench:", err)
+			os.Exit(1)
+		}
+		if *csvOut {
+			r.FprintCSV(os.Stdout)
+		} else {
+			r.Fprint(os.Stdout)
+		}
+		fmt.Println()
+	}
+}

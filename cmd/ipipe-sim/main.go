@@ -1,0 +1,223 @@
+// Command ipipe-sim runs an ad-hoc iPipe cluster simulation: pick an
+// application, a SmartNIC model (or none for the DPDK baseline), and a
+// load, and it reports throughput, latency percentiles, host CPU usage,
+// and runtime events (migrations, downgrades).
+//
+// Usage examples:
+//
+//	ipipe-sim -app rkv -nic cn2350 -duration 50ms -depth 16
+//	ipipe-sim -app dt -nic none -size 1024
+//	ipipe-sim -app rta -nic stingray -rate 500000
+//	ipipe-sim -app echo -nic cn2360
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	ipipe "repro"
+	"repro/internal/baseline"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func nicByFlag(name string) (*ipipe.NICModel, bool) {
+	switch strings.ToLower(name) {
+	case "none", "dpdk", "":
+		return nil, true
+	case "cn2350", "liquidio10":
+		return ipipe.LiquidIOII_CN2350(), true
+	case "cn2360", "liquidio25":
+		return ipipe.LiquidIOII_CN2360(), true
+	case "bluefield":
+		return ipipe.BlueField_1M332A(), true
+	case "stingray":
+		return ipipe.Stingray_PS225(), true
+	}
+	return nil, false
+}
+
+func main() {
+	app := flag.String("app", "rkv", "application: rkv | dt | rta | nf | echo")
+	nicName := flag.String("nic", "cn2350", "SmartNIC: cn2350 | cn2360 | bluefield | stingray | none (DPDK baseline)")
+	dur := flag.Duration("duration", 50*time.Millisecond, "virtual run duration")
+	depth := flag.Int("depth", 16, "closed-loop outstanding requests (0 = use -rate)")
+	rate := flag.Float64("rate", 0, "open-loop request rate (req/s) when -depth 0")
+	size := flag.Int("size", 512, "request packet size (B)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	loss := flag.Float64("loss", 0, "injected network packet loss rate [0,1)")
+	queue := flag.String("queue", "auto", "NIC ingress model: auto | shared | shuffle | iokernel")
+	flag.Parse()
+
+	nic, ok := nicByFlag(*nicName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ipipe-sim: unknown NIC %q\n", *nicName)
+		os.Exit(1)
+	}
+	offload := nic != nil
+	window := ipipe.Duration(dur.Nanoseconds())
+
+	cl := ipipe.NewCluster(*seed)
+	cl.Net.LossRate = *loss
+	mkNode := func(name string) *ipipe.Node {
+		cfg := ipipe.NodeConfig{Name: name, NIC: nic, LinkGbps: linkOf(nic)}
+		if nic != nil && *queue != "auto" {
+			sc := baseline.Hybrid(nic)
+			switch *queue {
+			case "shared":
+				sc.Shuffle = false
+			case "shuffle":
+				sc.Shuffle = true
+			case "iokernel":
+				sc.Shuffle = false
+				sc.IOKernel = true
+			default:
+				fmt.Fprintf(os.Stderr, "ipipe-sim: unknown queue model %q\n", *queue)
+				os.Exit(1)
+			}
+			cfg.SchedOverride = &sc
+		}
+		return cl.AddNode(cfg)
+	}
+	client := func() *ipipe.Client { return ipipe.NewClient(cl, "cli", linkOf(nic)) }
+
+	drive := func(c *ipipe.Client, gen func(i uint64) ipipe.Request) {
+		if *depth > 0 {
+			c.ClosedLoop(*depth, window, gen)
+		} else {
+			r := *rate
+			if r <= 0 {
+				r = 100000
+			}
+			c.OpenLoop(r, window, gen)
+		}
+	}
+
+	var nodes []*ipipe.Node
+	var c *ipipe.Client
+	switch *app {
+	case "rkv":
+		for i := 0; i < 3; i++ {
+			nodes = append(nodes, mkNode(fmt.Sprintf("kv%d", i)))
+		}
+		d, err := ipipe.DeployRKV(nodes, 100, 4<<20, offload)
+		if err != nil {
+			panic(err)
+		}
+		leader := d.LeaderActor()
+		c = client()
+		z := workload.NewZipf(cl.Eng.Rand(), 1_000_000, 0.99)
+		drive(c, func(i uint64) ipipe.Request {
+			key := []byte(fmt.Sprintf("k%07d", z.Next()))
+			data := ipipe.RKVGet(key)
+			if i%20 == 0 {
+				data = ipipe.RKVPut(key, make([]byte, *size/4))
+			}
+			return ipipe.Request{Node: "kv0", Dst: leader, Kind: ipipe.RKVKindReq,
+				Data: data, Size: *size, FlowID: i}
+		})
+	case "dt":
+		coord := mkNode("coord")
+		p1, p2 := mkNode("part1"), mkNode("part2")
+		nodes = []*ipipe.Node{coord, p1, p2}
+		_, _, err := ipipe.DeployDT(coord, []*ipipe.Node{p1, p2}, 100, offload)
+		if err != nil {
+			panic(err)
+		}
+		c = client()
+		drive(c, func(i uint64) ipipe.Request {
+			txn := ipipe.DTTxn{
+				Reads: []ipipe.DTOp{
+					{Key: []byte(fmt.Sprintf("r%d", i%512))},
+					{Key: []byte(fmt.Sprintf("r%d", (i+7)%512))},
+				},
+				Writes: []ipipe.DTOp{{Key: []byte(fmt.Sprintf("w%d", i%256)), Value: make([]byte, *size/4)}},
+			}
+			return ipipe.Request{Node: "coord", Dst: 100, Kind: ipipe.DTKindTxn,
+				Data: ipipe.DTEncodeTxn(txn), Size: *size, FlowID: i}
+		})
+	case "rta":
+		n := mkNode("worker")
+		nodes = []*ipipe.Node{n}
+		topo, err := ipipe.DeployRTA(n, n, 100, []string{"spam"}, 10, offload, nil)
+		if err != nil {
+			panic(err)
+		}
+		c = client()
+		words := []string{"alpha", "beta", "gamma", "delta", "spam", "zeta"}
+		drive(c, func(i uint64) ipipe.Request {
+			batch := *size / 32
+			if batch < 1 {
+				batch = 1
+			}
+			tuples := make([]string, batch)
+			for j := range tuples {
+				tuples[j] = words[(int(i)+j)%len(words)]
+			}
+			return ipipe.Request{Node: "worker", Dst: topo.Filter, Kind: ipipe.RTAKindTuples,
+				Data: ipipe.RTAEncodeTuples(tuples), Size: *size, FlowID: i}
+		})
+	case "nf":
+		n := mkNode("gw")
+		nodes = []*ipipe.Node{n}
+		if err := ipipe.DeployFirewall(n, 100, ipipe.UniformFirewallRules(8192), offload); err != nil {
+			panic(err)
+		}
+		c = client()
+		drive(c, func(i uint64) ipipe.Request {
+			t := ipipe.FiveTuple{SrcIP: uint32(i) << 13, DstPort: 80, Proto: 6}
+			return ipipe.Request{Node: "gw", Dst: 100, Data: t.Encode(), Size: *size, FlowID: i}
+		})
+	case "echo":
+		n := mkNode("srv")
+		nodes = []*ipipe.Node{n}
+		echo := &ipipe.Actor{ID: 100, Name: "echo",
+			OnMessage: func(ctx ipipe.Ctx, m ipipe.Msg) ipipe.Duration {
+				ctx.Reply(m)
+				return 2 * ipipe.Microsecond
+			}}
+		if err := n.Register(echo, offload, 0); err != nil {
+			panic(err)
+		}
+		c = client()
+		drive(c, func(i uint64) ipipe.Request {
+			return ipipe.Request{Node: "srv", Dst: 100, Size: *size, FlowID: i}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "ipipe-sim: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+
+	cl.Eng.Run()
+
+	mode := "iPipe"
+	if !offload {
+		mode = "DPDK baseline"
+	}
+	el := window.Seconds()
+	fmt.Printf("app=%s mode=%s size=%dB window=%v\n", *app, mode, *size, *dur)
+	fmt.Printf("throughput: %.0f req/s (%d of %d answered)\n",
+		float64(c.Received)/el, c.Received, c.Sent)
+	fmt.Printf("latency: p50=%.2fus p99=%.2fus\n", c.Lat.Percentile(50), c.Lat.Percentile(99))
+	for _, n := range nodes {
+		line := fmt.Sprintf("node %-8s host-cores=%.2f", n.Name, n.HostCoresUsed())
+		if n.Offloaded() {
+			f, d := n.Sched.CoreModes()
+			line += fmt.Sprintf("  nic[fcfs=%d drr=%d exec=%d fwd=%d down=%d up=%d push=%d pull=%d]",
+				f, d, n.Sched.Completed, n.Sched.Forwarded,
+				n.Sched.Downgrades, n.Sched.Upgrades, n.Sched.PushMigrations, n.Sched.PullMigrations)
+		}
+		fmt.Println(line)
+	}
+	_ = spec.WireOverheadBytes
+}
+
+func linkOf(nic *ipipe.NICModel) float64 {
+	if nic == nil {
+		return 10
+	}
+	return nic.LinkGbps
+}

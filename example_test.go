@@ -1,0 +1,77 @@
+package ipipe_test
+
+import (
+	"fmt"
+
+	ipipe "repro"
+)
+
+// Example deploys an echo actor on a SmartNIC and measures one request —
+// the smallest complete iPipe program.
+func Example() {
+	cl := ipipe.NewCluster(1)
+	node := cl.AddNode(ipipe.NodeConfig{Name: "srv", NIC: ipipe.LiquidIOII_CN2350()})
+	echo := &ipipe.Actor{
+		ID: 1,
+		OnMessage: func(ctx ipipe.Ctx, m ipipe.Msg) ipipe.Duration {
+			ctx.Reply(m)
+			return 2 * ipipe.Microsecond
+		},
+	}
+	if err := node.Register(echo, true, 0); err != nil {
+		panic(err)
+	}
+	client := ipipe.NewClient(cl, "cli", 10)
+	client.Send(ipipe.Request{Node: "srv", Dst: 1, Size: 512})
+	cl.Eng.Run()
+	fmt.Printf("answered=%d host-cores=%.1f\n", client.Received, node.HostCoresUsed())
+	// Output:
+	// answered=1 host-cores=0.0
+}
+
+// ExampleDeployRKV stands up the paper's replicated key-value store on
+// three SmartNIC-equipped replicas and performs a write then a read.
+func ExampleDeployRKV() {
+	cl := ipipe.NewCluster(1)
+	var nodes []*ipipe.Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, cl.AddNode(ipipe.NodeConfig{
+			Name: fmt.Sprintf("kv%d", i), NIC: ipipe.LiquidIOII_CN2350(),
+		}))
+	}
+	d, err := ipipe.DeployRKV(nodes, 100, 1<<20, true)
+	if err != nil {
+		panic(err)
+	}
+	client := ipipe.NewClient(cl, "cli", 10)
+	client.Send(ipipe.Request{
+		Node: "kv0", Dst: d.LeaderActor(), Kind: ipipe.RKVKindReq,
+		Data: ipipe.RKVPut([]byte("color"), []byte("teal")), Size: 256,
+		OnResp: func(ipipe.Msg) {
+			client.Send(ipipe.Request{
+				Node: "kv0", Dst: d.LeaderActor(), Kind: ipipe.RKVKindReq,
+				Data: ipipe.RKVGet([]byte("color")), Size: 256,
+				OnResp: func(resp ipipe.Msg) {
+					fmt.Printf("value=%s replicas-committed=%d\n",
+						resp.Data[1:], d.Replicas[1].Consensus.LogLen())
+				},
+			})
+		},
+	})
+	cl.Eng.Run()
+	// Output:
+	// value=teal replicas-committed=1
+}
+
+// ExampleExperiment regenerates one of the paper's tables.
+func ExampleExperiment() {
+	r, err := ipipe.Experiment("table2", true, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Title)
+	fmt.Println(len(r.Rows), "devices")
+	// Output:
+	// Memory hierarchy access latency (pointer chase)
+	// 5 devices
+}

@@ -1,0 +1,534 @@
+package dt
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// Message kinds of the transaction protocol.
+const (
+	// KindTxn is the client request (EncodeTxn payload).
+	KindTxn actor.Kind = iota + 16
+	// KindPhase1 asks a participant to read the read-set keys it holds
+	// and lock the write-set keys it holds.
+	KindPhase1
+	// KindPhase1Resp returns read values+versions and lock outcomes.
+	KindPhase1Resp
+	// KindValidate asks a participant to re-check read-set versions.
+	KindValidate
+	// KindValidateResp returns the validation verdict.
+	KindValidateResp
+	// KindCommit installs the write set and unlocks.
+	KindCommit
+	// KindCommitAck acknowledges installation.
+	KindCommitAck
+	// KindAbort unlocks the write-set keys of an aborted transaction.
+	KindAbort
+	// KindCheckpoint carries a full coordinator-log object to the
+	// host logging actor (§4: issued when the log reaches its limit).
+	KindCheckpoint
+)
+
+// Outcome codes returned to the client in the first response byte.
+const (
+	OutcomeCommitted byte = 1
+	OutcomeAborted   byte = 2
+)
+
+// logLimitBytes is the coordinator log capacity before checkpointing.
+const logLimitBytes = 1 << 16
+
+// Partition maps a key to one of n participants.
+func Partition(key []byte, n int) int {
+	return int(hashKey(key) % uint64(n))
+}
+
+// --- wire helpers ----------------------------------------------------
+
+type wbuf struct{ bytes.Buffer }
+
+func (w *wbuf) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+func (w *wbuf) u8(v byte) { w.WriteByte(v) }
+func (w *wbuf) blob(p []byte) {
+	w.u8(byte(len(p)))
+	w.Write(p)
+}
+func (w *wbuf) blob16(p []byte) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(p)))
+	w.Write(b[:])
+	w.Write(p)
+}
+
+type rbuf struct{ p []byte }
+
+func (r *rbuf) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.p)
+	r.p = r.p[8:]
+	return v
+}
+func (r *rbuf) u8() byte {
+	v := r.p[0]
+	r.p = r.p[1:]
+	return v
+}
+func (r *rbuf) blob() []byte {
+	n := int(r.u8())
+	v := r.p[:n]
+	r.p = r.p[n:]
+	return v
+}
+func (r *rbuf) blob16() []byte {
+	n := int(binary.LittleEndian.Uint16(r.p))
+	r.p = r.p[2:]
+	v := r.p[:n]
+	r.p = r.p[n:]
+	return v
+}
+func (r *rbuf) more() bool { return len(r.p) > 0 }
+
+// --- participant -----------------------------------------------------
+
+// NewParticipant builds a participant actor over its own Store. Costs
+// are per-op hashtable charges consistent with Table 3's KV-cache
+// profile (≈1.2µs per lookup/update on the reference core).
+func NewParticipant(id actor.ID, st *Store) *actor.Actor {
+	const opCost = 1200 * sim.Nanosecond
+	a := &actor.Actor{
+		ID:        id,
+		Name:      "dt-participant",
+		Exclusive: true, // mutates the shared table
+		MemBound:  0.35, // hashtable walks
+	}
+	a.OnMessage = func(ctx actor.Ctx, m actor.Msg) sim.Time {
+		r := rbuf{m.Data}
+		var cost sim.Time = 400 * sim.Nanosecond
+		switch m.Kind {
+		case KindPhase1:
+			txn := r.u64()
+			var w wbuf
+			w.u64(txn)
+			ok := byte(1)
+			nRead := int(r.u8())
+			reads := make([][]byte, 0, nRead)
+			for i := 0; i < nRead; i++ {
+				reads = append(reads, append([]byte(nil), r.blob()...))
+			}
+			nLock := int(r.u8())
+			locks := make([][]byte, 0, nLock)
+			for i := 0; i < nLock; i++ {
+				locks = append(locks, append([]byte(nil), r.blob()...))
+			}
+			// Abort fast if anything in R or W is already locked.
+			for _, k := range append(append([][]byte{}, reads...), locks...) {
+				cost += opCost
+				if rec := st.Get(k); rec != nil && rec.Locked {
+					ok = 0
+				}
+			}
+			if ok == 1 {
+				for _, k := range locks {
+					rec := st.Get(k)
+					if rec == nil {
+						rec = &Record{}
+						st.Put(k, rec)
+						cost += opCost
+					}
+					rec.Locked = true
+				}
+			}
+			w.u8(ok)
+			w.u8(byte(len(reads)))
+			for _, k := range reads {
+				var val []byte
+				var ver uint64
+				if rec := st.Get(k); rec != nil {
+					val, ver = rec.Value, rec.Version
+				}
+				w.blob(k)
+				w.blob16(val)
+				w.u64(ver)
+			}
+			ctx.Send(m.Src, actor.Msg{Kind: KindPhase1Resp, Data: w.Bytes()})
+		case KindValidate:
+			txn := r.u64()
+			ok := byte(1)
+			for r.more() {
+				k := r.blob()
+				ver := r.u64()
+				cost += opCost
+				rec := st.Get(k)
+				cur := uint64(0)
+				locked := false
+				if rec != nil {
+					cur, locked = rec.Version, rec.Locked
+				}
+				if locked || cur != ver {
+					ok = 0
+				}
+			}
+			var w wbuf
+			w.u64(txn)
+			w.u8(ok)
+			ctx.Send(m.Src, actor.Msg{Kind: KindValidateResp, Data: w.Bytes()})
+		case KindCommit:
+			txn := r.u64()
+			for r.more() {
+				k := r.blob()
+				val := r.blob16()
+				cost += opCost
+				rec := st.Get(k)
+				if rec == nil {
+					rec = &Record{}
+					st.Put(k, rec)
+				}
+				rec.Value = append([]byte(nil), val...)
+				rec.Version++
+				rec.Locked = false
+			}
+			var w wbuf
+			w.u64(txn)
+			ctx.Send(m.Src, actor.Msg{Kind: KindCommitAck, Data: w.Bytes()})
+		case KindAbort:
+			_ = r.u64()
+			for r.more() {
+				k := r.blob()
+				cost += opCost
+				if rec := st.Get(k); rec != nil {
+					rec.Locked = false
+				}
+			}
+		}
+		return cost
+	}
+	return a
+}
+
+// --- logging actor (host-pinned) --------------------------------------
+
+// NewLogger builds the host logging actor that persists checkpointed
+// coordinator logs (§4: "a logging actor pinned to the host since it
+// requires persistent storage access").
+func NewLogger(id actor.ID, onCheckpoint func(bytes int)) *actor.Actor {
+	a := &actor.Actor{
+		ID:      id,
+		Name:    "dt-logger",
+		PinHost: true,
+		// Storage writes dominate; host disks are the substrate.
+		MemBound: 0.6,
+	}
+	a.OnMessage = func(ctx actor.Ctx, m actor.Msg) sim.Time {
+		if m.Kind == KindCheckpoint {
+			if onCheckpoint != nil {
+				onCheckpoint(len(m.Data))
+			}
+			// Sequential storage write: ≈25ns/byte reference-core charge
+			// stands in for the I/O path.
+			return 5*sim.Microsecond + sim.Time(len(m.Data)/40)
+		}
+		return sim.Microsecond
+	}
+	return a
+}
+
+// --- coordinator -------------------------------------------------------
+
+type txnState struct {
+	id       uint64
+	txn      Txn
+	client   actor.Msg
+	pending  int
+	failed   bool
+	readVers map[string]uint64
+	readVals map[string][]byte
+	// lockedAt are participants that hold our locks.
+	lockedAt map[actor.ID][]Op
+	// readAt are participants holding our read keys.
+	readAt map[actor.ID][]Op
+}
+
+// Coordinator drives the OCC/2PC protocol. Exported state supports the
+// experiment harness.
+type Coordinator struct {
+	Actor *actor.Actor
+
+	participants []actor.ID
+	logger       actor.ID
+
+	nextTxn  uint64
+	inflight map[uint64]*txnState
+
+	logObj    uint64
+	logOffset int
+
+	// Committed/Aborted count outcomes.
+	Committed uint64
+	Aborted   uint64
+	// Checkpoints counts log-object migrations to the host.
+	Checkpoints uint64
+}
+
+// NewCoordinator builds the coordinator actor.
+func NewCoordinator(id actor.ID, participants []actor.ID, logger actor.ID) *Coordinator {
+	c := &Coordinator{
+		participants: participants,
+		logger:       logger,
+		inflight:     map[uint64]*txnState{},
+	}
+	a := &actor.Actor{
+		ID:        id,
+		Name:      "dt-coordinator",
+		Exclusive: true,
+		MemBound:  0.2,
+	}
+	a.OnInit = func(ctx actor.Ctx) {
+		c.logObj, _ = ctx.Alloc(logLimitBytes)
+	}
+	a.OnMessage = c.onMessage
+	c.Actor = a
+	return c
+}
+
+func (c *Coordinator) onMessage(ctx actor.Ctx, m actor.Msg) sim.Time {
+	switch m.Kind {
+	case KindTxn:
+		return c.startTxn(ctx, m)
+	case KindPhase1Resp:
+		return c.phase1Resp(ctx, m)
+	case KindValidateResp:
+		return c.validateResp(ctx, m)
+	case KindCommitAck:
+		return c.commitAck(ctx, m)
+	}
+	return 200 * sim.Nanosecond
+}
+
+func (c *Coordinator) startTxn(ctx actor.Ctx, m actor.Msg) sim.Time {
+	txn, ok := DecodeTxn(m.Data)
+	if !ok {
+		c.Aborted++
+		resp := m
+		resp.Data = []byte{OutcomeAborted}
+		ctx.Reply(resp)
+		return 400 * sim.Nanosecond
+	}
+	id := c.nextTxn
+	c.nextTxn++
+	st := &txnState{
+		id: id, txn: txn, client: m,
+		readVers: map[string]uint64{},
+		readVals: map[string][]byte{},
+		lockedAt: map[actor.ID][]Op{},
+		readAt:   map[actor.ID][]Op{},
+	}
+	for _, op := range txn.Reads {
+		p := c.participants[Partition(op.Key, len(c.participants))]
+		st.readAt[p] = append(st.readAt[p], op)
+	}
+	for _, op := range txn.Writes {
+		p := c.participants[Partition(op.Key, len(c.participants))]
+		st.lockedAt[p] = append(st.lockedAt[p], op)
+	}
+	c.inflight[id] = st
+	// Phase 1: read + lock, one message per involved participant.
+	parts := map[actor.ID]bool{}
+	for p := range st.readAt {
+		parts[p] = true
+	}
+	for p := range st.lockedAt {
+		parts[p] = true
+	}
+	for _, p := range c.participants {
+		if !parts[p] {
+			continue
+		}
+		var w wbuf
+		w.u64(id)
+		w.u8(byte(len(st.readAt[p])))
+		for _, op := range st.readAt[p] {
+			w.blob(op.Key)
+		}
+		w.u8(byte(len(st.lockedAt[p])))
+		for _, op := range st.lockedAt[p] {
+			w.blob(op.Key)
+		}
+		st.pending++
+		ctx.Send(p, actor.Msg{Kind: KindPhase1, Data: w.Bytes()})
+	}
+	return 800 * sim.Nanosecond
+}
+
+func (c *Coordinator) phase1Resp(ctx actor.Ctx, m actor.Msg) sim.Time {
+	r := rbuf{m.Data}
+	id := r.u64()
+	st, ok := c.inflight[id]
+	if !ok {
+		return 200 * sim.Nanosecond
+	}
+	if r.u8() == 0 {
+		st.failed = true
+	}
+	nReads := int(r.u8())
+	for i := 0; i < nReads; i++ {
+		k := string(r.blob())
+		v := append([]byte(nil), r.blob16()...)
+		ver := r.u64()
+		st.readVals[k] = v
+		st.readVers[k] = ver
+	}
+	st.pending--
+	if st.pending > 0 {
+		return 500 * sim.Nanosecond
+	}
+	if st.failed {
+		c.abort(ctx, st)
+		return 600 * sim.Nanosecond
+	}
+	// Phase 2: validate read versions.
+	if len(st.readAt) == 0 {
+		return c.logAndCommit(ctx, st) + 500*sim.Nanosecond
+	}
+	for p, ops := range st.readAt {
+		var w wbuf
+		w.u64(id)
+		for _, op := range ops {
+			w.blob(op.Key)
+			w.u64(st.readVers[string(op.Key)])
+		}
+		st.pending++
+		ctx.Send(p, actor.Msg{Kind: KindValidate, Data: w.Bytes()})
+	}
+	return 700 * sim.Nanosecond
+}
+
+func (c *Coordinator) validateResp(ctx actor.Ctx, m actor.Msg) sim.Time {
+	r := rbuf{m.Data}
+	id := r.u64()
+	st, ok := c.inflight[id]
+	if !ok {
+		return 200 * sim.Nanosecond
+	}
+	if r.u8() == 0 {
+		st.failed = true
+	}
+	st.pending--
+	if st.pending > 0 {
+		return 400 * sim.Nanosecond
+	}
+	if st.failed {
+		c.abort(ctx, st)
+		return 600 * sim.Nanosecond
+	}
+	return c.logAndCommit(ctx, st)
+}
+
+// logAndCommit performs phases 3 and 4: append to the coordinator log
+// (the commit point) and send commit messages.
+func (c *Coordinator) logAndCommit(ctx actor.Ctx, st *txnState) sim.Time {
+	var entry wbuf
+	entry.u64(st.id)
+	for _, op := range st.txn.Writes {
+		entry.blob(op.Key)
+		entry.blob16(op.Value)
+	}
+	e := entry.Bytes()
+	if c.logOffset+len(e) > logLimitBytes {
+		// Log full: migrate the log object to the host and checkpoint
+		// (§4), then start a fresh log object.
+		if _, err := ctx.ObjMigrate(c.logObj); err == nil {
+			c.Checkpoints++
+			ctx.Send(c.logger, actor.Msg{Kind: KindCheckpoint, Data: make([]byte, c.logOffset)})
+		}
+		c.logObj, _ = ctx.Alloc(logLimitBytes)
+		c.logOffset = 0
+	}
+	ctx.ObjWrite(c.logObj, c.logOffset, e)
+	c.logOffset += len(e)
+
+	// Phase 4: commit to write-set participants.
+	if len(st.lockedAt) == 0 {
+		c.finish(ctx, st, OutcomeCommitted)
+		return 900 * sim.Nanosecond
+	}
+	for p, ops := range st.lockedAt {
+		var w wbuf
+		w.u64(st.id)
+		for _, op := range ops {
+			w.blob(op.Key)
+			w.blob16(op.Value)
+		}
+		st.pending++
+		ctx.Send(p, actor.Msg{Kind: KindCommit, Data: w.Bytes()})
+	}
+	return 900 * sim.Nanosecond
+}
+
+func (c *Coordinator) commitAck(ctx actor.Ctx, m actor.Msg) sim.Time {
+	r := rbuf{m.Data}
+	id := r.u64()
+	st, ok := c.inflight[id]
+	if !ok {
+		return 200 * sim.Nanosecond
+	}
+	st.pending--
+	if st.pending == 0 {
+		c.finish(ctx, st, OutcomeCommitted)
+	}
+	return 400 * sim.Nanosecond
+}
+
+func (c *Coordinator) abort(ctx actor.Ctx, st *txnState) {
+	for p := range st.lockedAt {
+		var w wbuf
+		w.u64(st.id)
+		for _, op := range st.lockedAt[p] {
+			w.blob(op.Key)
+		}
+		ctx.Send(p, actor.Msg{Kind: KindAbort, Data: w.Bytes()})
+	}
+	c.finish(ctx, st, OutcomeAborted)
+}
+
+func (c *Coordinator) finish(ctx actor.Ctx, st *txnState, outcome byte) {
+	delete(c.inflight, st.id)
+	if outcome == OutcomeCommitted {
+		c.Committed++
+	} else {
+		c.Aborted++
+	}
+	resp := st.client
+	resp.Data = append([]byte{outcome}, encodeReadResults(st)...)
+	ctx.Reply(resp)
+}
+
+// encodeReadResults packs the read-set values for the client.
+func encodeReadResults(st *txnState) []byte {
+	var w wbuf
+	for _, op := range st.txn.Reads {
+		w.blob(op.Key)
+		w.blob16(st.readVals[string(op.Key)])
+	}
+	return w.Bytes()
+}
+
+// DecodeOutcome splits a client response into outcome and read values.
+func DecodeOutcome(p []byte) (byte, map[string][]byte) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	out := p[0]
+	r := rbuf{p[1:]}
+	vals := map[string][]byte{}
+	for r.more() {
+		k := string(r.blob())
+		vals[k] = append([]byte(nil), r.blob16()...)
+	}
+	return out, vals
+}

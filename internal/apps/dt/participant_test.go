@@ -1,0 +1,163 @@
+package dt
+
+import (
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// sinkCtx captures sends for handler-level protocol tests.
+type sinkCtx struct {
+	sent []actor.Msg
+}
+
+func (c *sinkCtx) Now() sim.Time  { return 0 }
+func (c *sinkCtx) Self() actor.ID { return 999 }
+func (c *sinkCtx) Send(dst actor.ID, m actor.Msg) {
+	m.Dst = dst
+	c.sent = append(c.sent, m)
+}
+func (c *sinkCtx) Reply(m actor.Msg)                                     {}
+func (c *sinkCtx) Alloc(size int) (uint64, error)                        { return 1, nil }
+func (c *sinkCtx) Free(obj uint64) error                                 { return nil }
+func (c *sinkCtx) ObjRead(o uint64, off, n int) ([]byte, error)          { return make([]byte, n), nil }
+func (c *sinkCtx) ObjWrite(o uint64, off int, p []byte) error            { return nil }
+func (c *sinkCtx) ObjMigrate(o uint64) (int, error)                      { return 0, nil }
+func (c *sinkCtx) ObjMemset(o uint64, off, n int, b byte) error          { return nil }
+func (c *sinkCtx) ObjMemcpy(d uint64, do int, s uint64, so, n int) error { return nil }
+func (c *sinkCtx) ObjMemmove(o uint64, do, so, n int) error              { return nil }
+func (c *sinkCtx) Accel(string, int, int) (sim.Time, bool)               { return 0, false }
+func (c *sinkCtx) OnNIC() bool                                           { return true }
+
+// phase1Msg builds a KindPhase1 message for one read and one lock key.
+func phase1Msg(txn uint64, reads, locks [][]byte) actor.Msg {
+	var w wbuf
+	w.u64(txn)
+	w.u8(byte(len(reads)))
+	for _, k := range reads {
+		w.blob(k)
+	}
+	w.u8(byte(len(locks)))
+	for _, k := range locks {
+		w.blob(k)
+	}
+	return actor.Msg{Kind: KindPhase1, Src: 999, Data: w.Bytes()}
+}
+
+func parsePhase1Resp(t *testing.T, m actor.Msg) (txn uint64, ok bool, vals map[string][]byte, vers map[string]uint64) {
+	t.Helper()
+	if m.Kind != KindPhase1Resp {
+		t.Fatalf("kind %d", m.Kind)
+	}
+	r := rbuf{m.Data}
+	txn = r.u64()
+	ok = r.u8() == 1
+	n := int(r.u8())
+	vals = map[string][]byte{}
+	vers = map[string]uint64{}
+	for i := 0; i < n; i++ {
+		k := string(r.blob())
+		vals[k] = append([]byte(nil), r.blob16()...)
+		vers[k] = r.u64()
+	}
+	return
+}
+
+func TestParticipantPhase1LocksAndReads(t *testing.T) {
+	st := NewStore()
+	st.Put([]byte("r1"), &Record{Value: []byte("v1"), Version: 3})
+	p := NewParticipant(1, st)
+	ctx := &sinkCtx{}
+	p.OnMessage(ctx, phase1Msg(7, [][]byte{[]byte("r1")}, [][]byte{[]byte("w1")}))
+	txn, ok, vals, vers := parsePhase1Resp(t, ctx.sent[0])
+	if txn != 7 || !ok {
+		t.Fatalf("txn=%d ok=%v", txn, ok)
+	}
+	if string(vals["r1"]) != "v1" || vers["r1"] != 3 {
+		t.Fatalf("read result %q v%d", vals["r1"], vers["r1"])
+	}
+	if rec := st.Get([]byte("w1")); rec == nil || !rec.Locked {
+		t.Fatal("write key not locked")
+	}
+}
+
+func TestParticipantPhase1FailsOnLockedKey(t *testing.T) {
+	st := NewStore()
+	st.Put([]byte("w1"), &Record{Locked: true})
+	p := NewParticipant(1, st)
+	ctx := &sinkCtx{}
+	p.OnMessage(ctx, phase1Msg(8, nil, [][]byte{[]byte("w1")}))
+	_, ok, _, _ := parsePhase1Resp(t, ctx.sent[0])
+	if ok {
+		t.Fatal("phase 1 succeeded against a held lock")
+	}
+}
+
+func TestParticipantValidateDetectsVersionChange(t *testing.T) {
+	st := NewStore()
+	st.Put([]byte("k"), &Record{Version: 5})
+	p := NewParticipant(1, st)
+	validate := func(ver uint64) bool {
+		ctx := &sinkCtx{}
+		var w wbuf
+		w.u64(9)
+		w.blob([]byte("k"))
+		w.u64(ver)
+		p.OnMessage(ctx, actor.Msg{Kind: KindValidate, Src: 999, Data: w.Bytes()})
+		r := rbuf{ctx.sent[0].Data}
+		r.u64()
+		return r.u8() == 1
+	}
+	if !validate(5) {
+		t.Fatal("matching version failed validation")
+	}
+	if validate(4) {
+		t.Fatal("stale version passed validation")
+	}
+	// A locked key fails validation regardless of version.
+	st.Get([]byte("k")).Locked = true
+	if validate(5) {
+		t.Fatal("locked key passed validation")
+	}
+}
+
+func TestParticipantCommitInstallsAndUnlocks(t *testing.T) {
+	st := NewStore()
+	st.Put([]byte("w"), &Record{Value: []byte("old"), Version: 2, Locked: true})
+	p := NewParticipant(1, st)
+	ctx := &sinkCtx{}
+	var w wbuf
+	w.u64(10)
+	w.blob([]byte("w"))
+	w.blob16([]byte("new"))
+	p.OnMessage(ctx, actor.Msg{Kind: KindCommit, Src: 999, Data: w.Bytes()})
+	rec := st.Get([]byte("w"))
+	if string(rec.Value) != "new" || rec.Version != 3 || rec.Locked {
+		t.Fatalf("post-commit record: %q v%d locked=%v", rec.Value, rec.Version, rec.Locked)
+	}
+	if ctx.sent[0].Kind != KindCommitAck {
+		t.Fatal("no commit ack")
+	}
+}
+
+func TestParticipantAbortUnlocksOnly(t *testing.T) {
+	st := NewStore()
+	st.Put([]byte("w"), &Record{Value: []byte("keep"), Version: 2, Locked: true})
+	p := NewParticipant(1, st)
+	ctx := &sinkCtx{}
+	var w wbuf
+	w.u64(11)
+	w.blob([]byte("w"))
+	p.OnMessage(ctx, actor.Msg{Kind: KindAbort, Src: 999, Data: w.Bytes()})
+	rec := st.Get([]byte("w"))
+	if rec.Locked {
+		t.Fatal("abort did not unlock")
+	}
+	if string(rec.Value) != "keep" || rec.Version != 2 {
+		t.Fatal("abort modified the record")
+	}
+	if len(ctx.sent) != 0 {
+		t.Fatal("abort should not be acknowledged")
+	}
+}

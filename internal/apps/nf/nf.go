@@ -1,0 +1,283 @@
+// Package nf implements the two network functions of §5.7 on iPipe: a
+// firewall matching wildcard rules with a software TCAM, and an IPSec
+// gateway datapath doing AES-256-CTR encryption with SHA-1
+// authentication, accelerated by the NIC's crypto engines where
+// available. The paper uses these to compare multicore SoC SmartNICs
+// against FPGA solutions (ClickNP) for classic NF workloads.
+package nf
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+
+	"repro/internal/actor"
+	"repro/internal/nstack"
+	"repro/internal/sim"
+)
+
+// Message kinds.
+const (
+	// KindPacket carries a packet through a network function.
+	KindPacket actor.Kind = iota + 64
+)
+
+// Verdicts returned in the first response byte.
+const (
+	VerdictAllow byte = 1
+	VerdictDeny  byte = 2
+)
+
+// FiveTuple is the classification key.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Encode packs a five-tuple into 13 bytes.
+func (t FiveTuple) Encode() []byte {
+	out := make([]byte, 13)
+	binary.LittleEndian.PutUint32(out, t.SrcIP)
+	binary.LittleEndian.PutUint32(out[4:], t.DstIP)
+	binary.LittleEndian.PutUint16(out[8:], t.SrcPort)
+	binary.LittleEndian.PutUint16(out[10:], t.DstPort)
+	out[12] = t.Proto
+	return out
+}
+
+// TupleFromFrame classifies a real Ethernet/IPv4/UDP frame through the
+// shim networking stack (nstack): the firewall's production ingress
+// path, as opposed to the pre-parsed 13-byte test vector format.
+func TupleFromFrame(frame []byte) (FiveTuple, bool) {
+	w := nstack.NewWQE(frame, 0)
+	if err := w.Decap(); err != nil {
+		return FiveTuple{}, false
+	}
+	return FiveTuple{
+		SrcIP:   w.Headers.SrcIP,
+		DstIP:   w.Headers.DstIP,
+		SrcPort: w.Headers.SrcPort,
+		DstPort: w.Headers.DstPort,
+		Proto:   nstack.ProtoUDP,
+	}, true
+}
+
+// DecodeFiveTuple unpacks a tuple; ok is false on short input.
+func DecodeFiveTuple(p []byte) (FiveTuple, bool) {
+	if len(p) < 13 {
+		return FiveTuple{}, false
+	}
+	return FiveTuple{
+		SrcIP:   binary.LittleEndian.Uint32(p),
+		DstIP:   binary.LittleEndian.Uint32(p[4:]),
+		SrcPort: binary.LittleEndian.Uint16(p[8:]),
+		DstPort: binary.LittleEndian.Uint16(p[10:]),
+		Proto:   p[12],
+	}, true
+}
+
+// Rule is one wildcard TCAM entry: a packet matches when
+// (field & Mask) == (Value & Mask) for every field. Lower Priority
+// values win; Allow decides the verdict.
+type Rule struct {
+	Value    FiveTuple
+	Mask     FiveTuple
+	Priority int
+	Allow    bool
+}
+
+// TCAM is a software ternary CAM: priority-ordered linear match over
+// masked rules, exactly what the paper's firewall uses.
+type TCAM struct {
+	rules []Rule // sorted by priority
+	// Lookups counts match operations, ScanDepth the total rules
+	// scanned (drives the cost model).
+	Lookups   uint64
+	ScanDepth uint64
+}
+
+// NewTCAM builds a TCAM from rules (sorted by priority, stable).
+func NewTCAM(rules []Rule) *TCAM {
+	sorted := append([]Rule(nil), rules...)
+	// Insertion sort keeps construction dependency-free and stable.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Priority < sorted[j-1].Priority; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return &TCAM{rules: sorted}
+}
+
+// Size returns the rule count.
+func (t *TCAM) Size() int { return len(t.rules) }
+
+func ruleMatches(r *Rule, p FiveTuple) bool {
+	return p.SrcIP&r.Mask.SrcIP == r.Value.SrcIP&r.Mask.SrcIP &&
+		p.DstIP&r.Mask.DstIP == r.Value.DstIP&r.Mask.DstIP &&
+		p.SrcPort&r.Mask.SrcPort == r.Value.SrcPort&r.Mask.SrcPort &&
+		p.DstPort&r.Mask.DstPort == r.Value.DstPort&r.Mask.DstPort &&
+		p.Proto&r.Mask.Proto == r.Value.Proto&r.Mask.Proto
+}
+
+// Match returns the verdict of the highest-priority matching rule and
+// how many rules were scanned. No match defaults to deny.
+func (t *TCAM) Match(p FiveTuple) (bool, int) {
+	t.Lookups++
+	for i := range t.rules {
+		t.ScanDepth++
+		if ruleMatches(&t.rules[i], p) {
+			return t.rules[i].Allow, i + 1
+		}
+	}
+	return false, len(t.rules)
+}
+
+// NewFirewall builds the firewall actor. The cost model charges the
+// masked-compare scan: with 8K rules and 1KB packets the paper reports
+// 3.65–19.41µs per packet depending on load; a per-rule compare of
+// ≈1.2ns on the reference core plus fixed parsing lands in that range
+// for typical scan depths.
+func NewFirewall(id actor.ID, tcam *TCAM) *actor.Actor {
+	a := &actor.Actor{
+		ID:        id,
+		Name:      "nf-firewall",
+		Exclusive: false, // read-only rule table
+		MemBound:  0.45,  // Table 3 firewall: MPKI 1.6
+	}
+	a.OnMessage = func(ctx actor.Ctx, m actor.Msg) sim.Time {
+		// Accept either a full frame (real deployments, parsed by the
+		// shim nstack) or the compact 13-byte tuple encoding.
+		tuple, ok := TupleFromFrame(m.Data)
+		if !ok {
+			tuple, ok = DecodeFiveTuple(m.Data)
+		}
+		if !ok {
+			return 300 * sim.Nanosecond
+		}
+		allow, scanned := tcam.Match(tuple)
+		resp := m
+		if allow {
+			resp.Data = []byte{VerdictAllow}
+		} else {
+			resp.Data = []byte{VerdictDeny}
+		}
+		ctx.Reply(resp)
+		return 500*sim.Nanosecond + sim.Time(scanned)*1200*sim.Nanosecond/1000
+	}
+	return a
+}
+
+// IPSec is the gateway state: real keys, real crypto.
+type IPSec struct {
+	block  cipher.Block
+	macKey []byte
+	// Processed counts packets, Accelerated those that used the NIC
+	// crypto engines.
+	Processed   uint64
+	Accelerated uint64
+}
+
+// NewIPSecState derives the cipher and MAC keys.
+func NewIPSecState(key, macKey []byte) (*IPSec, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &IPSec{block: block, macKey: macKey}, nil
+}
+
+// Seal encrypts the payload with AES-256-CTR and appends an
+// HMAC-SHA1 tag; iv is derived from the sequence number.
+func (s *IPSec) Seal(seq uint64, payload []byte) []byte {
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, seq)
+	out := make([]byte, len(payload))
+	cipher.NewCTR(s.block, iv).XORKeyStream(out, payload)
+	mac := hmac.New(sha1.New, s.macKey)
+	mac.Write(iv)
+	mac.Write(out)
+	return append(out, mac.Sum(nil)...)
+}
+
+// Open verifies and decrypts a sealed packet.
+func (s *IPSec) Open(seq uint64, sealed []byte) ([]byte, bool) {
+	if len(sealed) < sha1.Size {
+		return nil, false
+	}
+	body := sealed[:len(sealed)-sha1.Size]
+	tag := sealed[len(sealed)-sha1.Size:]
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, seq)
+	mac := hmac.New(sha1.New, s.macKey)
+	mac.Write(iv)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, false
+	}
+	out := make([]byte, len(body))
+	cipher.NewCTR(s.block, iv).XORKeyStream(out, body)
+	return out, true
+}
+
+// NewIPSecGateway builds the gateway actor: it seals each packet and
+// replies with the ciphertext. On the NIC it drives the AES and SHA-1
+// engines (I4); on the host it computes inline at AES-NI speeds.
+func NewIPSecGateway(id actor.ID, st *IPSec) *actor.Actor {
+	a := &actor.Actor{
+		ID:        id,
+		Name:      "nf-ipsec",
+		Exclusive: false,
+		MemBound:  0.2,
+	}
+	a.OnMessage = func(ctx actor.Ctx, m actor.Msg) sim.Time {
+		st.Processed++
+		seq := m.FlowID
+		sealed := st.Seal(seq, m.Data)
+		resp := m
+		resp.Data = append([]byte{VerdictAllow}, sealed...)
+		ctx.Reply(resp)
+		n := len(m.Data)
+		if n == 0 {
+			n = 64
+		}
+		// Prefer the hardware engines; ctx.Accel charges their latency.
+		aesCost, aesOK := ctx.Accel("AES", n, 8)
+		shaCost, shaOK := ctx.Accel("SHA-1", n, 8)
+		if aesOK && shaOK {
+			st.Accelerated++
+			// Engine waits already charged via ctx; only framing here.
+			_ = aesCost
+			_ = shaCost
+			return 600 * sim.Nanosecond
+		}
+		// Host fallback: AES-NI ≈0.75ns/B plus SHA1 ≈1.9ns/B on the
+		// reference-core scale (the 2.5X/7.0X engine speedups of §2.2.3
+		// emerge from this asymmetry).
+		return 800*sim.Nanosecond + sim.Time(float64(n)*2.65)
+	}
+	return a
+}
+
+// UniformRules synthesizes n wildcard rules for experiments: a spread
+// of /16-style prefixes with every 16th rule an allow.
+func UniformRules(n int) []Rule {
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		rules = append(rules, Rule{
+			Value: FiveTuple{
+				SrcIP: uint32(i) << 16,
+				Proto: uint8(i % 2 * 6),
+			},
+			Mask: FiveTuple{
+				SrcIP: 0xffff0000,
+				Proto: uint8(i % 2 * 0xff),
+			},
+			Priority: i,
+			Allow:    i%16 == 0,
+		})
+	}
+	return rules
+}

@@ -1,0 +1,345 @@
+package rkv
+
+import (
+	"encoding/binary"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// Multi-Paxos consensus actor (§4): a distinguished leader receives
+// client requests and coordinates accept/learn rounds over a replicated
+// ordered log; in the common case consensus for a log instance needs a
+// single round of accepts, and the committed command is disseminated
+// with a learning round. On leader failure, a replica runs the
+// two-phase prepare/promise election, picks the next available log
+// instance, and fills gaps from the promises.
+
+// instState is one log instance on a replica.
+type instState struct {
+	ballot    uint64
+	cmd       []byte
+	accepted  bool
+	committed bool
+	// Leader-side bookkeeping:
+	acks   int
+	client actor.Msg
+}
+
+// Consensus is a replica's consensus actor.
+type Consensus struct {
+	Actor *actor.Actor
+
+	peers    []actor.ID // consensus actors of the other replicas
+	memtable actor.ID   // local Memtable actor
+
+	// IsLeader marks the distinguished proposer.
+	IsLeader bool
+	ballot   uint64
+	promised uint64
+	log      map[uint64]*instState
+	next     uint64 // next instance to allocate (leader)
+	applied  uint64 // low-water mark of applied instances
+
+	// Election bookkeeping.
+	electing  bool
+	promises  int
+	merged    map[uint64]*instState
+	onElected func()
+
+	// Commits and Redirects count outcomes.
+	Commits   uint64
+	Redirects uint64
+}
+
+// paxos wire format helpers: inst(8) ballot(8) cmd...
+func encPaxos(inst, ballot uint64, cmd []byte) []byte {
+	out := make([]byte, 16+len(cmd))
+	binary.LittleEndian.PutUint64(out, inst)
+	binary.LittleEndian.PutUint64(out[8:], ballot)
+	copy(out[16:], cmd)
+	return out
+}
+
+func decPaxos(p []byte) (inst, ballot uint64, cmd []byte, ok bool) {
+	if len(p) < 16 {
+		return 0, 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:]), p[16:], true
+}
+
+// NewConsensus builds a consensus actor. leader marks the initial
+// distinguished proposer.
+func NewConsensus(id actor.ID, peers []actor.ID, memtable actor.ID, leader bool) *Consensus {
+	c := &Consensus{
+		peers:    peers,
+		memtable: memtable,
+		IsLeader: leader,
+		ballot:   1,
+		log:      map[uint64]*instState{},
+	}
+	a := &actor.Actor{
+		ID:        id,
+		Name:      "rkv-consensus",
+		Exclusive: true,
+		MemBound:  0.15, // protocol state is small (Table 3: replication 1.9µs)
+	}
+	a.OnMessage = c.onMessage
+	c.Actor = a
+	return c
+}
+
+func (c *Consensus) majority() int { return (len(c.peers)+1)/2 + 1 }
+
+func (c *Consensus) onMessage(ctx actor.Ctx, m actor.Msg) sim.Time {
+	switch m.Kind {
+	case KindReq:
+		return c.clientReq(ctx, m)
+	case KindAccept:
+		return c.accept(ctx, m)
+	case KindAccepted:
+		return c.accepted(ctx, m)
+	case KindLearn:
+		return c.learn(ctx, m)
+	case KindPrepare:
+		return c.prepare(ctx, m)
+	case KindPromise:
+		return c.promise(ctx, m)
+	case KindElect:
+		c.StartElection(ctx, nil)
+		return 1500 * sim.Nanosecond
+	}
+	return 200 * sim.Nanosecond
+}
+
+func (c *Consensus) clientReq(ctx actor.Ctx, m actor.Msg) sim.Time {
+	cmd, ok := DecodeCmd(m.Data)
+	if !ok {
+		resp := m
+		resp.Data = []byte{StatusNotFound}
+		ctx.Reply(resp)
+		return 300 * sim.Nanosecond
+	}
+	if cmd.Op == OpGet {
+		// Reads are served by the local store path (leader leases make
+		// this safe in the common case); forward with Reply intact.
+		ctx.Send(c.memtable, actor.Msg{
+			Kind: KindGet, Data: m.Data,
+			Origin: m.Origin, Reply: m.Reply, WireSize: m.WireSize, FlowID: m.FlowID,
+		})
+		return 500 * sim.Nanosecond
+	}
+	if !c.IsLeader {
+		c.Redirects++
+		resp := m
+		resp.Data = []byte{StatusRedirect}
+		ctx.Reply(resp)
+		return 400 * sim.Nanosecond
+	}
+	inst := c.next
+	c.next++
+	st := &instState{ballot: c.ballot, cmd: m.Data, accepted: true, acks: 1, client: m}
+	c.log[inst] = st
+	payload := encPaxos(inst, c.ballot, m.Data)
+	for _, p := range c.peers {
+		ctx.Send(p, actor.Msg{Kind: KindAccept, Data: payload})
+	}
+	if st.acks >= c.majority() {
+		c.commit(ctx, inst, st)
+	}
+	return 900 * sim.Nanosecond
+}
+
+// accept is the follower's phase-2 handler.
+func (c *Consensus) accept(ctx actor.Ctx, m actor.Msg) sim.Time {
+	inst, ballot, cmd, ok := decPaxos(m.Data)
+	if !ok || ballot < c.promised {
+		return 300 * sim.Nanosecond
+	}
+	st := c.log[inst]
+	if st == nil {
+		st = &instState{}
+		c.log[inst] = st
+	}
+	st.ballot = ballot
+	st.cmd = append([]byte(nil), cmd...)
+	st.accepted = true
+	ctx.Send(m.Src, actor.Msg{Kind: KindAccepted, Data: encPaxos(inst, ballot, nil)})
+	return 700 * sim.Nanosecond
+}
+
+// accepted is the leader counting phase-2 acks.
+func (c *Consensus) accepted(ctx actor.Ctx, m actor.Msg) sim.Time {
+	inst, ballot, _, ok := decPaxos(m.Data)
+	if !ok || !c.IsLeader || ballot != c.ballot {
+		return 200 * sim.Nanosecond
+	}
+	st := c.log[inst]
+	if st == nil || st.committed {
+		return 200 * sim.Nanosecond
+	}
+	st.acks++
+	if st.acks >= c.majority() {
+		c.commit(ctx, inst, st)
+	}
+	return 400 * sim.Nanosecond
+}
+
+// commit fires once per instance: apply locally, learn to peers, and
+// acknowledge the client — the consensus actor "sends a message to the
+// LSM Memtable once during the commit phase" (§4).
+func (c *Consensus) commit(ctx actor.Ctx, inst uint64, st *instState) {
+	if st.committed {
+		return
+	}
+	st.committed = true
+	c.Commits++
+	ctx.Send(c.memtable, actor.Msg{Kind: KindApply, Data: st.cmd})
+	payload := encPaxos(inst, st.ballot, st.cmd)
+	for _, p := range c.peers {
+		ctx.Send(p, actor.Msg{Kind: KindLearn, Data: payload})
+	}
+	if st.client.Reply != nil {
+		resp := st.client
+		resp.Data = []byte{StatusOK}
+		ctx.Reply(resp)
+		st.client = actor.Msg{}
+	}
+}
+
+// learn is the follower's phase-3 handler: mark committed and apply.
+func (c *Consensus) learn(ctx actor.Ctx, m actor.Msg) sim.Time {
+	inst, ballot, cmd, ok := decPaxos(m.Data)
+	if !ok {
+		return 200 * sim.Nanosecond
+	}
+	st := c.log[inst]
+	if st == nil {
+		st = &instState{}
+		c.log[inst] = st
+	}
+	if st.committed {
+		return 200 * sim.Nanosecond
+	}
+	st.ballot = ballot
+	st.cmd = append([]byte(nil), cmd...)
+	st.committed = true
+	c.Commits++
+	if inst >= c.next {
+		c.next = inst + 1
+	}
+	ctx.Send(c.memtable, actor.Msg{Kind: KindApply, Data: st.cmd})
+	return 600 * sim.Nanosecond
+}
+
+// StartElection begins the two-phase leader election on this replica
+// (invoked when the old leader fails). onElected fires on success.
+func (c *Consensus) StartElection(ctx actor.Ctx, onElected func()) {
+	c.electing = true
+	c.promises = 1 // self
+	c.merged = map[uint64]*instState{}
+	c.onElected = onElected
+	c.ballot += uint64(len(c.peers)) + 1 // unique higher ballot
+	c.promised = c.ballot
+	for inst, st := range c.log {
+		if st.accepted || st.committed {
+			c.merged[inst] = &instState{ballot: st.ballot, cmd: st.cmd, committed: st.committed}
+		}
+	}
+	payload := encPaxos(0, c.ballot, nil)
+	for _, p := range c.peers {
+		ctx.Send(p, actor.Msg{Kind: KindPrepare, Data: payload})
+	}
+	c.checkElected(ctx)
+}
+
+// prepare is the acceptor side of the election phase 1.
+func (c *Consensus) prepare(ctx actor.Ctx, m actor.Msg) sim.Time {
+	_, ballot, _, ok := decPaxos(m.Data)
+	if !ok || ballot <= c.promised {
+		return 300 * sim.Nanosecond
+	}
+	c.promised = ballot
+	c.IsLeader = false
+	// Return every accepted entry so the new leader can fill gaps.
+	var out []byte
+	for inst, st := range c.log {
+		if st.accepted || st.committed {
+			entry := encPaxos(inst, st.ballot, st.cmd)
+			var el [4]byte
+			binary.LittleEndian.PutUint32(el[:], uint32(len(entry)))
+			out = append(out, el[:]...)
+			out = append(out, entry...)
+		}
+	}
+	hdr := encPaxos(0, ballot, nil)
+	ctx.Send(m.Src, actor.Msg{Kind: KindPromise, Data: append(hdr, out...)})
+	return 800 * sim.Nanosecond
+}
+
+// promise collects election phase-1 responses at the candidate.
+func (c *Consensus) promise(ctx actor.Ctx, m actor.Msg) sim.Time {
+	_, ballot, rest, ok := decPaxos(m.Data)
+	if !ok || !c.electing || ballot != c.ballot {
+		return 200 * sim.Nanosecond
+	}
+	c.promises++
+	for len(rest) >= 4 {
+		el := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < el {
+			break
+		}
+		inst, b, cmd, ok2 := decPaxos(rest[:el])
+		rest = rest[el:]
+		if !ok2 {
+			continue
+		}
+		cur := c.merged[inst]
+		if cur == nil || b > cur.ballot {
+			c.merged[inst] = &instState{ballot: b, cmd: append([]byte(nil), cmd...)}
+		}
+	}
+	c.checkElected(ctx)
+	return 700 * sim.Nanosecond
+}
+
+func (c *Consensus) checkElected(ctx actor.Ctx) {
+	if !c.electing || c.promises < c.majority() {
+		return
+	}
+	c.electing = false
+	c.IsLeader = true
+	// Choose the next available instance and re-propose every merged
+	// entry that is not yet committed locally.
+	for inst, st := range c.merged {
+		if inst >= c.next {
+			c.next = inst + 1
+		}
+		local := c.log[inst]
+		if local != nil && local.committed {
+			continue
+		}
+		ns := &instState{ballot: c.ballot, cmd: st.cmd, accepted: true, acks: 1}
+		c.log[inst] = ns
+		payload := encPaxos(inst, c.ballot, st.cmd)
+		for _, p := range c.peers {
+			ctx.Send(p, actor.Msg{Kind: KindAccept, Data: payload})
+		}
+	}
+	if c.onElected != nil {
+		c.onElected()
+		c.onElected = nil
+	}
+}
+
+// LogLen reports committed instances (tests).
+func (c *Consensus) LogLen() int {
+	n := 0
+	for _, st := range c.log {
+		if st.committed {
+			n++
+		}
+	}
+	return n
+}

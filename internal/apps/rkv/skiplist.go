@@ -1,0 +1,338 @@
+// Package rkv is the replicated key-value store of §4: Multi-Paxos
+// consensus over an LSM-tree store. Four actor kinds implement it — a
+// consensus actor (leader/follower Paxos roles), an LSM Memtable actor
+// whose skip list is built from distributed memory objects exactly as
+// in Figure 12-b, an SSTable read actor, and a compaction actor (the
+// latter two pinned to the host, where persistent storage lives).
+package rkv
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// KeyLen is the fixed key size (16B keys, §5.1).
+const KeyLen = 16
+
+// MaxLevel bounds skip-list towers.
+const MaxLevel = 12
+
+// Skip-list node layout inside a DMO (Figure 12-b: "the key field is
+// the same, but value and forwarding pointers are replaced by object
+// IDs"):
+//
+//	key     [KeyLen]byte
+//	valObj  uint64   // object ID of the value object; 0 = tombstone
+//	valLen  uint32   // value size in bytes
+//	level   uint8
+//	forward [level]uint64 // object IDs of successor nodes; 0 = nil
+const nodeHdr = KeyLen + 8 + 4 + 1
+
+func nodeSize(level int) int { return nodeHdr + 8*level }
+
+// SkipList is an LSM Memtable index whose nodes live in DMOs and are
+// linked by object IDs, so the runtime can migrate the whole structure
+// between NIC and host without rewriting a single link.
+type SkipList struct {
+	head  uint64 // object ID of the head sentinel
+	level int    // current max level in use
+	count int
+	bytes int // application bytes (keys + values) resident
+	rng   uint64
+
+	// Visits counts node hops of the last operation (drives the cost
+	// model: each hop is an object-table lookup plus a cache miss).
+	Visits int
+}
+
+// NewSkipList allocates the head sentinel through the context.
+func NewSkipList(ctx actor.Ctx) (*SkipList, error) {
+	s := &SkipList{level: 1, rng: 0x9e3779b97f4a7c15}
+	head, err := ctx.Alloc(nodeSize(MaxLevel))
+	if err != nil {
+		return nil, err
+	}
+	s.head = head
+	var hdr [nodeHdr]byte
+	hdr[KeyLen+12] = MaxLevel
+	if err := ctx.ObjWrite(head, 0, hdr[:]); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Count returns live entries (including tombstones).
+func (s *SkipList) Count() int { return s.count }
+
+// Bytes returns resident application bytes, the Memtable size that
+// triggers minor compaction.
+func (s *SkipList) Bytes() int { return s.bytes }
+
+func (s *SkipList) randLevel() int {
+	// xorshift64*; each coin flip promotes with p=1/4 as in LevelDB.
+	lvl := 1
+	for lvl < MaxLevel {
+		s.rng ^= s.rng >> 12
+		s.rng ^= s.rng << 25
+		s.rng ^= s.rng >> 27
+		if (s.rng*0x2545f4914f6cdd1d)>>62 != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// nodeKey reads a node's key.
+func (s *SkipList) nodeKey(ctx actor.Ctx, obj uint64) ([]byte, error) {
+	s.Visits++
+	return ctx.ObjRead(obj, 0, KeyLen)
+}
+
+// nodeVal reads a node's (value object ID, value length).
+func (s *SkipList) nodeVal(ctx actor.Ctx, obj uint64) (uint64, int, error) {
+	p, err := ctx.ObjRead(obj, KeyLen, 12)
+	if err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(p), int(binary.LittleEndian.Uint32(p[8:])), nil
+}
+
+func (s *SkipList) setVal(ctx actor.Ctx, obj, val uint64, n int) error {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	binary.LittleEndian.PutUint32(b[8:], uint32(n))
+	return ctx.ObjWrite(obj, KeyLen, b[:])
+}
+
+// forward reads node.forward[i].
+func (s *SkipList) forward(ctx actor.Ctx, obj uint64, i int) (uint64, error) {
+	p, err := ctx.ObjRead(obj, nodeHdr+8*i, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func (s *SkipList) setForward(ctx actor.Ctx, obj uint64, i int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return ctx.ObjWrite(obj, nodeHdr+8*i, b[:])
+}
+
+func padKey(k []byte) []byte {
+	var out [KeyLen]byte
+	copy(out[:], k)
+	return out[:]
+}
+
+// findPredecessors walks the list, filling update[] with the last node
+// at each level whose key < k.
+func (s *SkipList) findPredecessors(ctx actor.Ctx, k []byte, update *[MaxLevel]uint64) (uint64, error) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for {
+			nxt, err := s.forward(ctx, x, i)
+			if err != nil {
+				return 0, err
+			}
+			if nxt == 0 {
+				break
+			}
+			nk, err := s.nodeKey(ctx, nxt)
+			if err != nil {
+				return 0, err
+			}
+			if bytes.Compare(nk, k) < 0 {
+				x = nxt
+				continue
+			}
+			break
+		}
+		update[i] = x
+	}
+	return s.forward(ctx, x, 0)
+}
+
+// Put inserts or overwrites a key. A nil value writes a tombstone
+// (deletions are insertions with a deletion marker, §4).
+func (s *SkipList) Put(ctx actor.Ctx, key, value []byte) error {
+	s.Visits = 0
+	k := padKey(key)
+	var update [MaxLevel]uint64
+	cand, err := s.findPredecessors(ctx, k, &update)
+	if err != nil {
+		return err
+	}
+	if cand != 0 {
+		ck, err := s.nodeKey(ctx, cand)
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(ck, k) {
+			// Overwrite: free the old value object, attach the new one.
+			old, oldLen, err := s.nodeVal(ctx, cand)
+			if err != nil {
+				return err
+			}
+			if old != 0 {
+				s.bytes -= oldLen
+				ctx.Free(old)
+			}
+			vo, n, err := s.allocValue(ctx, value)
+			if err != nil {
+				return err
+			}
+			s.bytes += n
+			return s.setVal(ctx, cand, vo, n)
+		}
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node, err := ctx.Alloc(nodeSize(lvl))
+	if err != nil {
+		return err
+	}
+	vo, vn, err := s.allocValue(ctx, value)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, nodeHdr)
+	copy(hdr, k)
+	binary.LittleEndian.PutUint64(hdr[KeyLen:], vo)
+	binary.LittleEndian.PutUint32(hdr[KeyLen+8:], uint32(vn))
+	hdr[KeyLen+12] = byte(lvl)
+	if err := ctx.ObjWrite(node, 0, hdr); err != nil {
+		return err
+	}
+	for i := 0; i < lvl; i++ {
+		nxt, err := s.forward(ctx, update[i], i)
+		if err != nil {
+			return err
+		}
+		if err := s.setForward(ctx, node, i, nxt); err != nil {
+			return err
+		}
+		if err := s.setForward(ctx, update[i], i, node); err != nil {
+			return err
+		}
+	}
+	s.count++
+	s.bytes += KeyLen + vn
+	return nil
+}
+
+// allocValue stores a value in its own object; nil values (tombstones)
+// use object ID 0.
+func (s *SkipList) allocValue(ctx actor.Ctx, value []byte) (uint64, int, error) {
+	if value == nil {
+		return 0, 0, nil
+	}
+	vo, err := ctx.Alloc(len(value))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ctx.ObjWrite(vo, 0, value); err != nil {
+		return 0, 0, err
+	}
+	return vo, len(value), nil
+}
+
+// Get returns (value, found, tombstone).
+func (s *SkipList) Get(ctx actor.Ctx, key []byte) ([]byte, bool, bool, error) {
+	s.Visits = 0
+	k := padKey(key)
+	var update [MaxLevel]uint64
+	cand, err := s.findPredecessors(ctx, k, &update)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if cand == 0 {
+		return nil, false, false, nil
+	}
+	ck, err := s.nodeKey(ctx, cand)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !bytes.Equal(ck, k) {
+		return nil, false, false, nil
+	}
+	vo, n, err := s.nodeVal(ctx, cand)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if vo == 0 {
+		return nil, true, true, nil
+	}
+	v, err := ctx.ObjRead(vo, 0, n)
+	return v, true, false, err
+}
+
+// Entry is one key/value pair; Tombstone marks deletion.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Drain iterates all entries in key order, frees every node and value
+// object, and resets the list (minor compaction hands the contents to
+// the compaction actor).
+func (s *SkipList) Drain(ctx actor.Ctx) ([]Entry, error) {
+	var out []Entry
+	x, err := s.forward(ctx, s.head, 0)
+	if err != nil {
+		return nil, err
+	}
+	for x != 0 {
+		k, err := s.nodeKey(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		vo, n, err := s.nodeVal(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{Key: append([]byte(nil), k...)}
+		if vo == 0 {
+			e.Tombstone = true
+		} else {
+			e.Value, err = ctx.ObjRead(vo, 0, n)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Free(vo)
+		}
+		out = append(out, e)
+		nxt, err := s.forward(ctx, x, 0)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Free(x)
+		x = nxt
+	}
+	// Reset head forwards.
+	for i := 0; i < MaxLevel; i++ {
+		if err := s.setForward(ctx, s.head, i, 0); err != nil {
+			return nil, err
+		}
+	}
+	s.level = 1
+	s.count = 0
+	s.bytes = 0
+	return out, nil
+}
+
+// visitCost converts the last operation's node hops into reference-core
+// time: each hop is an object-table lookup plus an L2/DRAM touch.
+func (s *SkipList) visitCost() sim.Time {
+	return sim.Time(300 + 220*s.Visits)
+}

@@ -1,0 +1,166 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation, each regenerating the same rows or
+// series the paper reports (§2.2 characterization and §5 evaluation).
+// Runners are registered by id ("fig2" … "fig18", "table2", "table3",
+// "floem", "nf") and produce a Result that prints as an aligned table;
+// cmd/ipipe-bench exposes them on the command line and bench_test.go as
+// testing.B benchmarks.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Quick trims sweeps and windows for CI-speed runs.
+	Quick bool
+	// Seed makes runs reproducible; 0 uses 1.
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the paper-vs-measured commentary.
+	Notes []string
+}
+
+// Add appends a row of cells (fmt.Sprint applied to each).
+func (r *Result) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note appends commentary.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// FprintCSV renders the result as CSV (header row first, notes as
+// trailing comment lines), for piping into plotting tools.
+func (r *Result) FprintCSV(w io.Writer) {
+	cw := csv.NewWriter(w)
+	cw.Write(r.Header)
+	for _, row := range r.Rows {
+		cw.Write(row)
+	}
+	cw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// Runner produces one experiment's result.
+type Runner func(opts Options) *Result
+
+type entry struct {
+	id    string
+	title string
+	run   Runner
+	order int
+}
+
+var registry = map[string]*entry{}
+var nextOrder int
+
+// register wires a runner under an id; called from init functions.
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("bench: duplicate experiment " + id)
+	}
+	registry[id] = &entry{id: id, title: title, run: run, order: nextOrder}
+	nextOrder++
+}
+
+// IDs lists experiments in registration (paper) order.
+func IDs() []string {
+	es := make([]*entry, 0, len(registry))
+	for _, e := range registry {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].order < es[j].order })
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) string {
+	if e, ok := registry[id]; ok {
+		return e.title
+	}
+	return ""
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	r := e.run(opts)
+	r.ID = e.id
+	r.Title = e.title
+	return r, nil
+}

@@ -1,0 +1,530 @@
+// Package core is the iPipe runtime (§3): it spans the SmartNIC and the
+// host of each node, wiring together the actor scheduler
+// (internal/sched), the host execution engine (internal/hostsim), the
+// distributed-memory-object store (internal/dmo), the host↔NIC message
+// rings (internal/msgring), the security isolation mechanisms
+// (internal/isolation), and the simulated device and network substrates.
+//
+// A Cluster holds the shared simulation engine, the network, and the
+// global actor table; Nodes are added with AddNode and actors deployed
+// with Register. Baseline (DPDK, host-only) nodes are Nodes without a
+// SmartNIC: traffic lands directly on host cores with DPDK I/O costs.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/dmo"
+	"repro/internal/hostsim"
+	"repro/internal/isolation"
+	"repro/internal/msgring"
+	"repro/internal/netsim"
+	"repro/internal/nicsim"
+	"repro/internal/pcie"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// DefaultRegionBytes is the per-actor DMO region carved at registration
+// when the caller does not specify one (64MB, comfortably above every
+// app actor's working set).
+const DefaultRegionBytes = 64 << 20
+
+// RespEnvelope wraps a response traveling back to an external client
+// (the workload generator): Fn is the client's reply continuation, Msg
+// the response. netsim handlers that see one invoke Fn(Msg).
+type RespEnvelope struct {
+	Fn  func(actor.Msg)
+	Msg actor.Msg
+}
+
+// Cluster is a deployment: one engine, one network, a shared actor
+// table, and a set of nodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	Net   *netsim.Network
+	Table *actor.Table
+	nodes map[string]*Node
+}
+
+// NewCluster creates an empty cluster with a deterministic seed.
+func NewCluster(seed uint64) *Cluster {
+	eng := sim.NewEngine(seed)
+	return &Cluster{
+		Eng:   eng,
+		Net:   netsim.New(eng),
+		Table: actor.NewTable(),
+		nodes: map[string]*Node{},
+	}
+}
+
+// Node returns a node by name, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Config describes one node.
+type Config struct {
+	Name string
+	// NIC is the SmartNIC model; nil means a dumb NIC (baseline node).
+	NIC *spec.NICModel
+	// Host is the host server model. Defaults to spec.IntelHost().
+	Host *spec.HostModel
+	// HostCores limits how many host cores the runtime may use
+	// (default: all of Host.Cores).
+	HostCores int
+	// LinkGbps overrides the node's link speed (default: NIC link, or
+	// 10 for baseline nodes).
+	LinkGbps float64
+	// RingSlots/RingBatch size the host↔NIC channels.
+	RingSlots int
+	RingBatch int
+	// WatchdogTimeout bounds per-invocation NIC core occupancy (§3.4);
+	// 0 uses 1ms; negative disables.
+	WatchdogTimeout sim.Time
+	// DisableMigration pins the initial placement (the Floem-style
+	// static configuration uses this).
+	DisableMigration bool
+	// RawState skips per-operation DMO translation and bookkeeping
+	// charges, modeling a hand-rolled (non-iPipe) implementation; used
+	// by the framework-overhead comparison (Figure 17).
+	RawState bool
+	// SchedOverride, if non-nil, replaces the NIC scheduler config
+	// derived from the model (used by the Figure 16 ablations).
+	SchedOverride *sched.Config
+}
+
+// MigrationRecord captures one push migration's per-phase elapsed time
+// (Figure 18 and Appendix B.3).
+type MigrationRecord struct {
+	Actor      string
+	Start      sim.Time
+	Phase      [4]sim.Time // elapsed per phase
+	BytesMoved int
+	Buffered   int // requests forwarded in phase 4
+}
+
+// Total returns the end-to-end migration time.
+func (r MigrationRecord) Total() sim.Time {
+	return r.Phase[0] + r.Phase[1] + r.Phase[2] + r.Phase[3]
+}
+
+// Node is one server: a host, optionally a SmartNIC running iPipe, and
+// the glue between them.
+type Node struct {
+	c   *Cluster
+	eng *sim.Engine
+	cfg Config
+
+	Name      string
+	NICModel  *spec.NICModel
+	HostModel *spec.HostModel
+
+	Sched   *sched.Scheduler // nil on baseline nodes
+	Host    *hostsim.Host
+	Gate    *nicsim.TrafficGate
+	Accels  *nicsim.AccelBank
+	DMA     *pcie.Engine
+	Chan    *msgring.Channel
+	Objects *dmo.Store
+
+	Watchdog   *isolation.Watchdog
+	Violations *isolation.ViolationLog
+
+	actors map[actor.ID]*actor.Actor
+
+	// Migrations records completed push migrations for Figure 18.
+	Migrations []MigrationRecord
+	// Dropped counts undeliverable messages.
+	Dropped uint64
+	// flushArmed tracks the pending ring-flush timer.
+	flushArmed bool
+}
+
+// migrationBandwidthGBs is the effective object-migration bandwidth
+// (below raw PCIe: per-object table updates and message framing eat into
+// it; calibrated so a 32MB Memtable takes ≈35ms as in Appendix B.3).
+const migrationBandwidthGBs = 0.9
+
+// AddNode creates, wires, and attaches a node.
+func (c *Cluster) AddNode(cfg Config) *Node {
+	if cfg.Name == "" {
+		panic("core: node needs a name")
+	}
+	if _, dup := c.nodes[cfg.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate node %q", cfg.Name))
+	}
+	if cfg.Host == nil {
+		cfg.Host = spec.IntelHost()
+	}
+	if cfg.HostCores <= 0 {
+		cfg.HostCores = cfg.Host.Cores
+	}
+	if cfg.RingSlots == 0 {
+		cfg.RingSlots = msgring.DefaultRingSlots
+	}
+	if cfg.RingBatch == 0 {
+		cfg.RingBatch = 4
+	}
+	if cfg.WatchdogTimeout == 0 {
+		// Generous default: legitimate heavy handlers (compaction,
+		// ranker sorts) run for milliseconds; the watchdog targets
+		// actors that never yield (§3.4).
+		cfg.WatchdogTimeout = 50 * sim.Millisecond
+	}
+	link := cfg.LinkGbps
+	if link == 0 {
+		if cfg.NIC != nil {
+			link = cfg.NIC.LinkGbps
+		} else {
+			link = 10
+		}
+	}
+
+	n := &Node{
+		c:          c,
+		eng:        c.Eng,
+		cfg:        cfg,
+		Name:       cfg.Name,
+		NICModel:   cfg.NIC,
+		HostModel:  cfg.Host,
+		Objects:    dmo.NewStore(),
+		Violations: isolation.NewViolationLog(),
+		actors:     map[actor.ID]*actor.Actor{},
+	}
+
+	n.Host = hostsim.New(c.Eng, hostsim.Config{
+		Cores:    cfg.HostCores,
+		Steal:    true,
+		PollCost: 50 * sim.Nanosecond,
+	}, hostsim.Hooks{
+		Run:     n.runOnHost,
+		Unowned: n.hostUnowned,
+	})
+
+	if cfg.NIC != nil {
+		n.Gate = nicsim.NewTrafficGate(c.Eng, cfg.NIC)
+		n.Accels = nicsim.NewAccelBank(c.Eng, cfg.NIC)
+		n.DMA = pcie.New(c.Eng, cfg.NIC.DMA)
+		n.Chan = msgring.NewChannel(c.Eng, n.DMA, cfg.RingSlots, cfg.RingBatch)
+		n.Chan.OnHostReady = n.pumpToHost
+		n.Chan.OnNICReady = n.pumpToNIC
+
+		mech := isolation.FirmwareTimer
+		if cfg.NIC.FullOS {
+			mech = isolation.OSSignals
+		}
+		if cfg.WatchdogTimeout > 0 {
+			n.Watchdog = isolation.NewWatchdog(cfg.WatchdogTimeout, mech, n.killActor)
+		}
+
+		scfg := sched.DefaultConfig(cfg.NIC.Cores)
+		scfg.TailThresh = cfg.NIC.TailThreshUs
+		scfg.MeanThresh = cfg.NIC.MeanThreshUs
+		scfg.Shuffle = !cfg.NIC.HasTrafficManager
+		if cfg.SchedOverride != nil {
+			scfg = *cfg.SchedOverride
+		}
+		hooks := sched.Hooks{
+			Run:     n.runOnNIC,
+			FwdTax:  func(b int) sim.Time { return cfg.NIC.FwdTax.Cost(b) },
+			Forward: n.forwardToHost,
+			Quantum: func(avg int) sim.Time {
+				if avg <= 0 {
+					avg = 512
+				}
+				q := cfg.NIC.ComputeHeadroom(avg)
+				if q < sim.Microsecond {
+					q = sim.Microsecond
+				}
+				return q
+			},
+		}
+		if !cfg.DisableMigration {
+			hooks.PushToHost = n.pushToHost
+			hooks.PullFromHost = n.pullFromHost
+		}
+		n.Sched = sched.New(c.Eng, scfg, hooks)
+	}
+
+	c.nodes[cfg.Name] = n
+	c.Net.Attach(cfg.Name, link, n)
+	return n
+}
+
+// Offloaded reports whether this node runs iPipe on a SmartNIC.
+func (n *Node) Offloaded() bool { return n.Sched != nil }
+
+// Register deploys an actor on this node. onNIC selects initial
+// placement (ignored and forced to host on baseline nodes or when the
+// actor is PinHost). regionBytes ≤ 0 uses DefaultRegionBytes.
+func (n *Node) Register(a *actor.Actor, onNIC bool, regionBytes int) error {
+	if _, dup := n.actors[a.ID]; dup {
+		return fmt.Errorf("core: actor %d already registered on %s", a.ID, n.Name)
+	}
+	if _, elsewhere := n.c.Table.Lookup(a.ID); elsewhere {
+		return fmt.Errorf("core: actor %d already deployed", a.ID)
+	}
+	if regionBytes <= 0 {
+		regionBytes = DefaultRegionBytes
+	}
+	if a.PinHost || n.Sched == nil {
+		onNIC = false
+	}
+	if a.PinNIC && n.Sched != nil {
+		onNIC = true
+	}
+	n.actors[a.ID] = a
+	n.Objects.Register(uint32(a.ID), regionBytes)
+	if a.OnInit != nil {
+		a.OnInit(&execCtx{node: n, a: a, onNIC: onNIC, free: true})
+	}
+	if onNIC {
+		n.Sched.AddActor(a)
+	} else {
+		n.Host.AddActor(a)
+	}
+	n.c.Table.Set(a.ID, actor.Ref{Node: n.Name, OnNIC: onNIC})
+	return nil
+}
+
+// ActorSide reports where an actor currently runs on this node.
+func (n *Node) ActorSide(id actor.ID) (dmo.Side, error) {
+	ref, ok := n.c.Table.Lookup(id)
+	if !ok || ref.Node != n.Name {
+		return 0, errors.New("core: actor not on this node")
+	}
+	if ref.OnNIC {
+		return dmo.NIC, nil
+	}
+	return dmo.Host, nil
+}
+
+// Deliver implements netsim.Handler: traffic from the wire.
+func (n *Node) Deliver(pkt *netsim.Packet) {
+	switch p := pkt.Payload.(type) {
+	case RespEnvelope:
+		// A response to a client co-located on this node.
+		p.Fn(p.Msg)
+	case actor.Msg:
+		m := p
+		m.WireSize = pkt.Size
+		m.FlowID = pkt.FlowID
+		m.Via = actor.ViaWire
+		if m.Origin == "" {
+			m.Origin = pkt.Src
+		}
+		if n.Sched != nil {
+			n.Gate.Admit(func() { n.Sched.Arrive(m) })
+			return
+		}
+		// Baseline node: DPDK delivers straight to host cores after the
+		// stack's receive latency.
+		n.eng.After(n.HostModel.DPDKRecvCost.Cost(pkt.Size)-n.HostModel.DPDKRxOcc, func() {
+			n.Host.Arrive(m)
+		})
+	default:
+		n.Dropped++
+	}
+}
+
+// runOnNIC is the scheduler's Run hook: execute the handler for real,
+// return the modeled NIC-core service time.
+func (n *Node) runOnNIC(a *actor.Actor, m actor.Msg) sim.Time {
+	ctx := &execCtx{node: n, a: a, onNIC: true}
+	ref := a.OnMessage(ctx, m)
+	service := n.scaleNIC(ref) + ctx.extra
+	if n.Watchdog != nil {
+		service, _ = n.Watchdog.Check(a, service)
+	}
+	return ctx.finish(service)
+}
+
+// runOnHost is the host engine's Run hook.
+func (n *Node) runOnHost(a *actor.Actor, m actor.Msg) sim.Time {
+	ctx := &execCtx{node: n, a: a, onNIC: false}
+	ref := a.OnMessage(ctx, m)
+	service := n.scaleHost(ref, a) + ctx.extra
+	switch m.Via {
+	case actor.ViaWire:
+		service += n.HostModel.DPDKRxOcc
+	case actor.ViaRing:
+		service += n.HostModel.RingRxOcc
+	}
+	if !n.cfg.RawState {
+		// iPipe bookkeeping (EWMA updates, dispatch table) — part of the
+		// measured framework overhead of Figure 17.
+		service += 90 * sim.Nanosecond
+	}
+	return ctx.finish(service)
+}
+
+// scaleNIC converts a reference-core (CN2350) cost to this NIC's cores.
+func (n *Node) scaleNIC(ref sim.Time) sim.Time {
+	return sim.Time(float64(ref) * n.NICModel.CyclesScale())
+}
+
+// scaleHost converts a reference-core cost to a host core, crediting
+// less speedup to memory-bound actors (I3).
+func (n *Node) scaleHost(ref sim.Time, a *actor.Actor) sim.Time {
+	h := n.HostModel
+	mb := a.MemBound
+	speed := h.ComputeSpeedup*(1-mb) + h.MemorySpeedup*mb
+	return sim.Time(float64(ref) / speed)
+}
+
+// forwardToHost is the scheduler's Forward hook: NIC-received traffic
+// owned by a host actor (or nobody) crosses the rings.
+func (n *Node) forwardToHost(m actor.Msg) {
+	m.Via = actor.ViaRing
+	if _, err := n.Chan.NICPush(toRingMsg(m)); err != nil {
+		// Ring full: in hardware the NIC retries; bounded retry here.
+		n.eng.After(2*sim.Microsecond, func() { n.forwardToHost(m) })
+		return
+	}
+	n.armFlush()
+}
+
+// armFlush guarantees a partially filled ring batch flushes within 1µs.
+func (n *Node) armFlush() {
+	if n.flushArmed {
+		return
+	}
+	n.flushArmed = true
+	n.eng.After(sim.Microsecond, func() {
+		n.flushArmed = false
+		n.Chan.Flush()
+	})
+}
+
+// pumpToHost drains ready NIC→host messages into the host scheduler.
+func (n *Node) pumpToHost() {
+	for {
+		msgs, _ := n.Chan.HostPoll(64)
+		if len(msgs) == 0 {
+			return
+		}
+		for _, rm := range msgs {
+			m := fromRingMsg(rm)
+			m.Via = actor.ViaRing
+			n.Host.Arrive(m)
+		}
+	}
+}
+
+// pumpToNIC fetches host→NIC messages and injects them into the NIC
+// scheduler.
+func (n *Node) pumpToNIC() {
+	n.Chan.NICPoll(64, func(msgs []msgring.Message) {
+		for _, rm := range msgs {
+			m := fromRingMsg(rm)
+			m.Via = actor.ViaRing
+			n.Sched.Arrive(m)
+		}
+	})
+}
+
+// hostUnowned routes host-side messages whose actor is not (or no
+// longer) host-resident.
+func (n *Node) hostUnowned(m actor.Msg) {
+	ref, ok := n.c.Table.Lookup(m.Dst)
+	if !ok {
+		n.Dropped++
+		return
+	}
+	if ref.Node == n.Name && ref.OnNIC && n.Sched != nil {
+		m.Via = actor.ViaRing
+		if _, err := n.Chan.HostPush(toRingMsg(m)); err != nil {
+			n.eng.After(2*sim.Microsecond, func() { n.hostUnowned(m) })
+		}
+		return
+	}
+	if ref.Node != n.Name {
+		// Mid-flight to a remote actor (rare): send it over the wire.
+		n.sendRemote(m, ref.Node, false)
+		return
+	}
+	// The actor is mid-migration (pulled off the host, not yet started
+	// on the NIC): buffer in the runtime, as §3.2.5 prescribes.
+	if a, ok := n.actors[m.Dst]; ok && a.State != actor.Stable {
+		a.Mailbox.Push(m)
+		return
+	}
+	n.Dropped++
+}
+
+// sendRemote serializes a message onto the network.
+func (n *Node) sendRemote(m actor.Msg, dstNode string, fromNIC bool) {
+	size := msgring.HeaderBytes + len(m.Data)
+	if m.WireSize > size {
+		size = m.WireSize
+	}
+	if size < 64 {
+		size = 64
+	}
+	m.Via = actor.ViaWire
+	n.c.Net.Send(&netsim.Packet{
+		Src:     n.Name,
+		Dst:     dstNode,
+		Size:    size,
+		FlowID:  m.FlowID,
+		Payload: m,
+	})
+	_ = fromNIC
+}
+
+// killActor is the watchdog's OnKill: deregister everywhere and free
+// resources (§3.4).
+func (n *Node) killActor(a *actor.Actor) {
+	if n.Sched != nil {
+		n.Sched.RemoveActor(a.ID)
+	}
+	n.Host.RemoveActor(a.ID)
+	n.Objects.DestroyActor(uint32(a.ID))
+	n.c.Table.Delete(a.ID)
+	delete(n.actors, a.ID)
+}
+
+// HostCoresUsed reports the node's host CPU usage in cores (Figure 13's
+// y-axis).
+func (n *Node) HostCoresUsed() float64 { return n.Host.CoresUsed() }
+
+// HostCoresAllocated reports host CPU usage including the dedicated
+// busy-polling runtime thread both the DPDK baseline and the iPipe host
+// runtime pin (§5.1: runtime threads poll the message rings; DPDK cores
+// poll RX queues). Kernel-bypass stacks occupy a core whether or not
+// requests arrive, so a deployment never allocates less than one.
+func (n *Node) HostCoresAllocated() float64 {
+	used := n.Host.CoresUsed()
+	if used < 1 {
+		return 1
+	}
+	return used
+}
+
+// toRingMsg / fromRingMsg adapt actor messages to ring slots. The full
+// message rides in the ring entry's App handle (the real system passes
+// a packet-buffer pointer alongside); Data is what crosses PCIe and is
+// checksummed.
+func toRingMsg(m actor.Msg) msgring.Message {
+	return msgring.Message{
+		Kind:     uint16(m.Kind),
+		SrcActor: uint32(m.Src),
+		DstActor: uint32(m.Dst),
+		Data:     m.Data,
+		App:      m,
+	}
+}
+
+func fromRingMsg(rm msgring.Message) actor.Msg {
+	if m, ok := rm.App.(actor.Msg); ok {
+		return m
+	}
+	return actor.Msg{
+		Kind: actor.Kind(rm.Kind),
+		Src:  actor.ID(rm.SrcActor),
+		Dst:  actor.ID(rm.DstActor),
+		Data: rm.Data,
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"repro/internal/actor"
+	"repro/internal/dmo"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// execCtx implements actor.Ctx for one handler invocation. It records
+// the modeled cost of every runtime service the handler uses (sends,
+// DMO accesses, accelerator invocations) in extra; the Run hooks add
+// extra to the handler's own compute cost.
+type execCtx struct {
+	node  *Node
+	a     *actor.Actor
+	onNIC bool
+	extra sim.Time
+	// free disables cost accounting (used for OnInit, which the paper
+	// performs at registration time, off the data path).
+	free bool
+	// deferred collects the handler's outbound effects (sends, replies).
+	// Handlers execute instantly in real time, but their messages must
+	// leave when the modeled execution *finishes*, so the runtime
+	// flushes these after the service time elapses.
+	deferred []func()
+}
+
+func (c *execCtx) charge(d sim.Time) {
+	if !c.free {
+		c.extra += d
+	}
+}
+
+// later queues an outbound effect; OnInit contexts run immediately.
+func (c *execCtx) later(fn func()) {
+	if c.free {
+		fn()
+		return
+	}
+	c.deferred = append(c.deferred, fn)
+}
+
+// finish schedules the deferred effects to fire when the modeled
+// service completes and returns the service time unchanged.
+func (c *execCtx) finish(service sim.Time) sim.Time {
+	if len(c.deferred) > 0 {
+		fns := c.deferred
+		c.deferred = nil
+		if service <= 0 {
+			service = 1
+		}
+		c.node.eng.After(service, func() {
+			for _, fn := range fns {
+				fn()
+			}
+		})
+	}
+	return service
+}
+
+// Now implements actor.Ctx.
+func (c *execCtx) Now() sim.Time { return c.node.eng.Now() }
+
+// Self implements actor.Ctx.
+func (c *execCtx) Self() actor.ID { return c.a.ID }
+
+// OnNIC implements actor.Ctx.
+func (c *execCtx) OnNIC() bool { return c.onNIC }
+
+// Send implements actor.Ctx: asynchronous message to another actor,
+// wherever it lives.
+func (c *execCtx) Send(dst actor.ID, m actor.Msg) {
+	n := c.node
+	m.Src = c.a.ID
+	m.Dst = dst
+	ref, ok := n.c.Table.Lookup(dst)
+	if !ok {
+		n.Dropped++
+		return
+	}
+	if ref.Node != n.Name {
+		// Remote: serialize to the wire. Hardware-assisted messaging on
+		// the NIC (Figure 6); DPDK/ring costs on the host.
+		size := len(m.Data) + 48
+		if size < 64 {
+			size = 64
+		}
+		if c.onNIC {
+			c.charge(n.NICModel.NICSendCost.Cost(size))
+		} else if n.Offloaded() {
+			// Host egress via the NIC: stage into the ring.
+			c.charge(n.HostModel.RingTxOcc)
+		} else {
+			c.charge(n.HostModel.DPDKTxOcc)
+		}
+		m.Via = actor.ViaWire
+		m.WireSize = size
+		c.later(func() {
+			n.c.Net.Send(&netsim.Packet{
+				Src: n.Name, Dst: ref.Node, Size: size,
+				FlowID:  m.FlowID,
+				Payload: m,
+			})
+		})
+		return
+	}
+	// Local node. The destination side is re-resolved at flush time:
+	// the target may migrate between handler execution and completion.
+	switch {
+	case c.onNIC && ref.OnNIC:
+		c.charge(100 * sim.Nanosecond)
+		c.later(func() { c.deliverLocalFromNIC(m) })
+	case c.onNIC && !ref.OnNIC:
+		c.charge(150 * sim.Nanosecond)
+		c.later(func() { c.deliverLocalFromNIC(m) })
+	case !c.onNIC && ref.OnNIC:
+		c.charge(60*sim.Nanosecond + n.HostModel.RingTxOcc)
+		c.later(func() { c.deliverLocalFromHost(m) })
+	default:
+		c.charge(80 * sim.Nanosecond)
+		c.later(func() { c.deliverLocalFromHost(m) })
+	}
+}
+
+// deliverLocalFromNIC routes a NIC-originated local message to wherever
+// the destination lives now.
+func (c *execCtx) deliverLocalFromNIC(m actor.Msg) {
+	n := c.node
+	ref, ok := n.c.Table.Lookup(m.Dst)
+	switch {
+	case !ok:
+		n.Dropped++
+	case ref.Node != n.Name:
+		n.sendRemote(m, ref.Node, true)
+	case ref.OnNIC:
+		m.Via = actor.ViaLocal
+		n.Sched.Arrive(m)
+	default:
+		n.forwardToHost(m)
+	}
+}
+
+// deliverLocalFromHost routes a host-originated local message.
+func (c *execCtx) deliverLocalFromHost(m actor.Msg) {
+	n := c.node
+	ref, ok := n.c.Table.Lookup(m.Dst)
+	switch {
+	case !ok:
+		n.Dropped++
+	case ref.Node != n.Name:
+		n.sendRemote(m, ref.Node, false)
+	case ref.OnNIC:
+		m.Via = actor.ViaRing
+		if _, err := n.Chan.HostPush(toRingMsg(m)); err != nil {
+			mm := m
+			n.eng.After(2*sim.Microsecond, func() { n.hostUnowned(mm) })
+		}
+	default:
+		m.Via = actor.ViaLocal
+		n.Host.Arrive(m)
+	}
+}
+
+// Reply implements actor.Ctx: route a response to the external client
+// that originated the request.
+func (c *execCtx) Reply(m actor.Msg) {
+	n := c.node
+	if m.Reply == nil || m.Origin == "" {
+		n.Dropped++
+		return
+	}
+	size := m.WireSize
+	if size < 64 {
+		size = 64
+	}
+	if c.onNIC {
+		c.charge(n.NICModel.NICSendCost.Cost(size))
+	} else if n.Offloaded() {
+		c.charge(n.HostModel.RingTxOcc)
+	} else {
+		c.charge(n.HostModel.DPDKTxOcc)
+	}
+	resp := m
+	resp.Reply = nil
+	c.later(func() {
+		n.c.Net.Send(&netsim.Packet{
+			Src: n.Name, Dst: m.Origin, Size: size,
+			FlowID:  m.FlowID,
+			Payload: RespEnvelope{Fn: m.Reply, Msg: resp},
+		})
+	})
+}
+
+// side returns where this execution's objects live.
+func (c *execCtx) side() dmo.Side {
+	if c.onNIC {
+		return dmo.NIC
+	}
+	return dmo.Host
+}
+
+// dmoOverhead is the per-operation DMO address-translation cost (object
+// ID → base address lookup), one of the three framework overheads the
+// paper measures in §5.5.
+func (c *execCtx) dmoOverhead(bytes int) sim.Time {
+	if c.node.cfg.RawState {
+		return 0
+	}
+	return 60*sim.Nanosecond + sim.Time(float64(bytes)*0.02)
+}
+
+// Alloc implements actor.Ctx.
+func (c *execCtx) Alloc(size int) (uint64, error) {
+	c.charge(200 * sim.Nanosecond)
+	return c.node.Objects.Alloc(uint32(c.a.ID), size, c.side())
+}
+
+// Free implements actor.Ctx.
+func (c *execCtx) Free(obj uint64) error {
+	c.charge(150 * sim.Nanosecond)
+	err := c.node.Objects.Free(uint32(c.a.ID), obj)
+	c.note(err)
+	return err
+}
+
+// ObjRead implements actor.Ctx.
+func (c *execCtx) ObjRead(obj uint64, off, n int) ([]byte, error) {
+	c.charge(c.dmoOverhead(n))
+	p, err := c.node.Objects.Read(uint32(c.a.ID), obj, off, n)
+	c.note(err)
+	return p, err
+}
+
+// ObjWrite implements actor.Ctx.
+func (c *execCtx) ObjWrite(obj uint64, off int, p []byte) error {
+	c.charge(c.dmoOverhead(len(p)))
+	err := c.node.Objects.Write(uint32(c.a.ID), obj, off, p)
+	c.note(err)
+	return err
+}
+
+// ObjMigrate implements actor.Ctx: move one object across PCIe. The
+// issuing core only stages the transfer; the bytes move at migration
+// bandwidth in the background.
+func (c *execCtx) ObjMigrate(obj uint64) (int, error) {
+	to := dmo.Host
+	if !c.onNIC {
+		to = dmo.NIC
+	}
+	n, err := c.node.Objects.MigrateObject(uint32(c.a.ID), obj, to)
+	c.note(err)
+	if err != nil {
+		return 0, err
+	}
+	c.charge(300 * sim.Nanosecond) // descriptor staging
+	return n, nil
+}
+
+// ObjMemset implements actor.Ctx (dmo_mmset).
+func (c *execCtx) ObjMemset(obj uint64, off, n int, b byte) error {
+	c.charge(c.dmoOverhead(n))
+	err := c.node.Objects.Memset(uint32(c.a.ID), obj, off, n, b)
+	c.note(err)
+	return err
+}
+
+// ObjMemcpy implements actor.Ctx (dmo_mmcpy).
+func (c *execCtx) ObjMemcpy(dst uint64, dstOff int, src uint64, srcOff, n int) error {
+	c.charge(c.dmoOverhead(n))
+	err := c.node.Objects.Memcpy(uint32(c.a.ID), dst, dstOff, src, srcOff, n)
+	c.note(err)
+	return err
+}
+
+// ObjMemmove implements actor.Ctx (dmo_mmmove).
+func (c *execCtx) ObjMemmove(obj uint64, dstOff, srcOff, n int) error {
+	c.charge(c.dmoOverhead(n))
+	err := c.node.Objects.Memmove(uint32(c.a.ID), obj, dstOff, srcOff, n)
+	c.note(err)
+	return err
+}
+
+// note records isolation violations (wrong-actor accesses).
+func (c *execCtx) note(err error) {
+	if err == dmo.ErrWrongActor {
+		c.node.Violations.Record(c.a.ID)
+	}
+}
+
+// Accel implements actor.Ctx: invoke a hardware unit if this zone has
+// one. Host cores report ok=false and the handler computes inline.
+func (c *execCtx) Accel(name string, bytes, batch int) (sim.Time, bool) {
+	if !c.onNIC || c.node.Accels == nil {
+		return 0, false
+	}
+	cost, ok := c.node.Accels.Invoke(name, bytes, batch, nil)
+	if !ok {
+		return 0, false
+	}
+	c.charge(cost)
+	return cost, true
+}

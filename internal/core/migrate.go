@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/actor"
+	"repro/internal/dmo"
+	"repro/internal/sim"
+)
+
+// pushToHost runs the 4-phase NIC→host actor migration of §3.2.5:
+//
+//	Phase 1 (Prepare): the actor removes itself from the runtime
+//	  dispatcher (and the DRR runnable queue); new requests buffer in
+//	  the iPipe runtime.
+//	Phase 2 (Ready): the actor finishes its in-flight work — for a DRR
+//	  actor, every request already in its mailbox.
+//	Phase 3 (Gone): the actor's distributed memory objects move to the
+//	  host runtime and the host actor starts.
+//	Phase 4 (Clean): buffered requests are forwarded to the host with
+//	  rewritten destinations.
+//
+// The scheduler has already set the actor's state to Prepare and is
+// holding the migration latch; we release it at the end.
+func (n *Node) pushToHost(a *actor.Actor) {
+	rec := MigrationRecord{Actor: a.Name, Start: n.eng.Now()}
+	start := n.eng.Now()
+
+	// Phase 1: state transition, dispatcher and runnable-queue removal,
+	// runtime locking. Lightweight (Appendix B.3).
+	pending := a.Mailbox.Drain() // in-flight work to finish in phase 2
+	p1 := 200 * sim.Microsecond
+	n.eng.After(p1, func() {
+		rec.Phase[0] = n.eng.Now() - start
+		phase2Start := n.eng.Now()
+
+		// Phase 2: execute remaining requests for real so no state is
+		// lost, charging their NIC-core service time sequentially.
+		var p2 sim.Time
+		for _, m := range pending {
+			p2 += n.runOnNIC(a, m)
+		}
+		p2 += 50 * sim.Microsecond // drain barrier on executing cores
+		a.State = actor.Ready
+		n.eng.After(p2, func() {
+			rec.Phase[1] = n.eng.Now() - phase2Start
+			phase3Start := n.eng.Now()
+
+			// Phase 3: move the DMOs across PCIe and start the host
+			// actor. Cost is dominated by object bytes (Figure 18).
+			bytes := n.Objects.MigrateActor(uint32(a.ID), dmo.Host)
+			rec.BytesMoved = bytes
+			p3 := 300*sim.Microsecond + sim.Time(float64(bytes)/migrationBandwidthGBs)
+			n.eng.After(p3, func() {
+				rec.Phase[2] = n.eng.Now() - phase3Start
+				phase4Start := n.eng.Now()
+
+				a.State = actor.Gone
+				n.Sched.RemoveActor(a.ID)
+				n.Host.AddActor(a)
+				n.c.Table.Set(a.ID, actor.Ref{Node: n.Name, OnNIC: false})
+
+				// Phase 4: forward requests buffered during migration,
+				// rewriting their destination to the host runtime.
+				buffered := a.Mailbox.Drain()
+				rec.Buffered = len(buffered)
+				p4 := sim.Time(len(buffered)) * 2 * sim.Microsecond
+				n.eng.After(p4, func() {
+					rec.Phase[3] = n.eng.Now() - phase4Start
+					for _, m := range buffered {
+						m.Via = actor.ViaRing
+						n.Host.Arrive(m)
+					}
+					a.State = actor.Stable
+					n.Migrations = append(n.Migrations, rec)
+					n.Sched.MigrationDone()
+				})
+			})
+		})
+	})
+}
+
+// pullFromHost brings the least-loaded host actor back to the NIC when
+// the SmartNIC has spare capacity (§3.2.5). Only the NIC initiates
+// migration in either direction.
+func (n *Node) pullFromHost() bool {
+	a := n.Host.LeastLoadedActor()
+	if a == nil {
+		return false
+	}
+	a.State = actor.Prepare
+	n.Host.RemoveActor(a.ID)
+	// Host actors run shared-nothing; in-flight messages route through
+	// hostUnowned once the table flips. Move objects, then start the
+	// NIC actor.
+	bytes := n.Objects.MigrateActor(uint32(a.ID), dmo.NIC)
+	d := 200*sim.Microsecond + sim.Time(float64(bytes)/migrationBandwidthGBs)
+	n.eng.After(d, func() {
+		n.Sched.AddActor(a)
+		n.c.Table.Set(a.ID, actor.Ref{Node: n.Name, OnNIC: true})
+		a.State = actor.Stable
+		// Requests buffered while the actor was in flight resume on the
+		// NIC side.
+		for _, m := range a.Mailbox.Drain() {
+			n.Sched.Arrive(m)
+		}
+		n.Sched.MigrationDone()
+	})
+	return true
+}
+
+// MigrateNow forces a push migration outside the scheduler's policy
+// (used by the Figure 18 experiment to trigger migrations on demand).
+func (n *Node) MigrateNow(id actor.ID) bool {
+	if n.Sched == nil {
+		return false
+	}
+	a, ok := n.Sched.Actor(id)
+	if !ok || a.State != actor.Stable {
+		return false
+	}
+	a.State = actor.Prepare
+	n.pushToHost(a)
+	return true
+}

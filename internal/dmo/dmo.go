@@ -1,0 +1,303 @@
+// Package dmo implements iPipe's distributed memory object abstraction
+// (§3.3). A DMO is a chunk of memory identified by an object ID rather
+// than a pointer; actors index their data structures by object IDs so
+// the runtime can relocate all of an actor's objects between NIC and
+// host memory during migration without invalidating the actor's state.
+//
+// Invariants enforced here, straight from the paper:
+//
+//   - a DMO belongs to exactly one actor; no sharing across actors;
+//   - at any time a DMO has exactly one copy, on the NIC or on the host;
+//   - actors never read/write objects across the PCIe bus (remote access
+//     is ~10x slower): the runtime moves objects with the actor instead;
+//   - each registered actor draws from a fixed-size memory region; when
+//     it consumes more than the framework provisioned, allocation fails.
+package dmo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ObjID names a distributed memory object. IDs are unique per deployment
+// side-pair (allocated by the Store), never reused.
+type ObjID = uint64
+
+// Side identifies which memory holds an object's single copy.
+type Side uint8
+
+// The two execution zones.
+const (
+	NIC Side = iota
+	Host
+)
+
+// String renders the side.
+func (s Side) String() string {
+	if s == NIC {
+		return "NIC"
+	}
+	return "Host"
+}
+
+// Error values surfaced to actors.
+var (
+	ErrNoSuchObject    = errors.New("dmo: no such object")
+	ErrWrongActor      = errors.New("dmo: object owned by another actor")
+	ErrRegionExhausted = errors.New("dmo: actor memory region exhausted")
+	ErrBounds          = errors.New("dmo: access out of object bounds")
+	ErrNoRegion        = errors.New("dmo: actor has no registered region")
+)
+
+type object struct {
+	owner uint32
+	side  Side
+	data  []byte
+}
+
+type region struct {
+	limit int
+	used  int
+}
+
+// Store is the object table plus region allocator for one node. Both the
+// NIC-side and host-side tables of the paper are views into one Store,
+// distinguished by each object's Side; this mirrors the paper's paired
+// iPipe-host / iPipe-NIC object tables while keeping migration atomic.
+type Store struct {
+	objects map[ObjID]*object
+	regions map[uint32]*region
+	nextID  ObjID
+
+	// Migrations counts object moves for experiment accounting.
+	Migrations uint64
+	// BytesMigrated accumulates migration volume (drives Figure 18's
+	// phase-3 cost).
+	BytesMigrated uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: map[ObjID]*object{}, regions: map[uint32]*region{}, nextID: 1}
+}
+
+// Register provisions an actor's memory region of limit bytes. On the
+// LiquidIO cards this is carved from the firmware's global bootmem
+// region at init time (§3.3). Re-registering resizes the limit.
+func (s *Store) Register(actor uint32, limit int) {
+	if r, ok := s.regions[actor]; ok {
+		r.limit = limit
+		return
+	}
+	s.regions[actor] = &region{limit: limit}
+}
+
+// RegionUse reports an actor's (used, limit) bytes.
+func (s *Store) RegionUse(actor uint32) (used, limit int) {
+	r, ok := s.regions[actor]
+	if !ok {
+		return 0, 0
+	}
+	return r.used, r.limit
+}
+
+// Alloc creates an object of size bytes for the actor on the given side.
+func (s *Store) Alloc(actor uint32, size int, side Side) (ObjID, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("dmo: negative size %d", size)
+	}
+	r, ok := s.regions[actor]
+	if !ok {
+		return 0, ErrNoRegion
+	}
+	if r.used+size > r.limit {
+		return 0, ErrRegionExhausted
+	}
+	r.used += size
+	id := s.nextID
+	s.nextID++
+	s.objects[id] = &object{owner: actor, side: side, data: make([]byte, size)}
+	return id, nil
+}
+
+// lookup fetches an object enforcing ownership. The ownership check is
+// the software analogue of the TLB trap of §3.4: an actor touching
+// another actor's region gets an error, never the data.
+func (s *Store) lookup(actor uint32, id ObjID) (*object, error) {
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, ErrNoSuchObject
+	}
+	if o.owner != actor {
+		return nil, ErrWrongActor
+	}
+	return o, nil
+}
+
+// Free releases an object and returns its bytes to the actor's region.
+func (s *Store) Free(actor uint32, id ObjID) error {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return err
+	}
+	s.regions[actor].used -= len(o.data)
+	delete(s.objects, id)
+	return nil
+}
+
+// Size returns an object's size.
+func (s *Store) Size(actor uint32, id ObjID) (int, error) {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return 0, err
+	}
+	return len(o.data), nil
+}
+
+// SideOf returns which memory currently holds the object.
+func (s *Store) SideOf(actor uint32, id ObjID) (Side, error) {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return 0, err
+	}
+	return o.side, nil
+}
+
+// Read copies n bytes at offset off out of the object.
+func (s *Store) Read(actor uint32, id ObjID, off, n int) ([]byte, error) {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > len(o.data) {
+		return nil, ErrBounds
+	}
+	out := make([]byte, n)
+	copy(out, o.data[off:off+n])
+	return out, nil
+}
+
+// Write copies p into the object at offset off.
+func (s *Store) Write(actor uint32, id ObjID, off int, p []byte) error {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(p) > len(o.data) {
+		return ErrBounds
+	}
+	copy(o.data[off:], p)
+	return nil
+}
+
+// Memset fills [off, off+n) with b (dmo_mmset of Table 4).
+func (s *Store) Memset(actor uint32, id ObjID, off, n int, b byte) error {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return err
+	}
+	if off < 0 || n < 0 || off+n > len(o.data) {
+		return ErrBounds
+	}
+	for i := off; i < off+n; i++ {
+		o.data[i] = b
+	}
+	return nil
+}
+
+// Memcpy copies n bytes between two objects of the same actor
+// (dmo_mmcpy). Source and destination ranges must not alias; both
+// objects must be local to the same side, per the no-cross-PCIe rule.
+func (s *Store) Memcpy(actor uint32, dst ObjID, dstOff int, src ObjID, srcOff, n int) error {
+	d, err := s.lookup(actor, dst)
+	if err != nil {
+		return err
+	}
+	sr, err := s.lookup(actor, src)
+	if err != nil {
+		return err
+	}
+	if d.side != sr.side {
+		return fmt.Errorf("dmo: memcpy across PCIe (src %v, dst %v)", sr.side, d.side)
+	}
+	if srcOff < 0 || n < 0 || srcOff+n > len(sr.data) || dstOff < 0 || dstOff+n > len(d.data) {
+		return ErrBounds
+	}
+	copy(d.data[dstOff:dstOff+n], sr.data[srcOff:srcOff+n])
+	return nil
+}
+
+// Memmove is Memcpy that tolerates overlap within a single object.
+func (s *Store) Memmove(actor uint32, id ObjID, dstOff, srcOff, n int) error {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return err
+	}
+	if srcOff < 0 || dstOff < 0 || n < 0 || srcOff+n > len(o.data) || dstOff+n > len(o.data) {
+		return ErrBounds
+	}
+	copy(o.data[dstOff:dstOff+n], o.data[srcOff:srcOff+n])
+	return nil
+}
+
+// MigrateActor moves every object the actor owns to the target side and
+// returns the total bytes moved (the dominant cost of migration phase 3,
+// Figure 18). Objects already on the target side are untouched.
+func (s *Store) MigrateActor(actor uint32, to Side) (bytes int) {
+	for _, o := range s.objects {
+		if o.owner != actor || o.side == to {
+			continue
+		}
+		o.side = to
+		bytes += len(o.data)
+	}
+	if bytes > 0 {
+		s.Migrations++
+		s.BytesMigrated += uint64(bytes)
+	}
+	return bytes
+}
+
+// MigrateObject moves a single object (dmo_migrate of Table 4).
+func (s *Store) MigrateObject(actor uint32, id ObjID, to Side) (int, error) {
+	o, err := s.lookup(actor, id)
+	if err != nil {
+		return 0, err
+	}
+	if o.side == to {
+		return 0, nil
+	}
+	o.side = to
+	s.Migrations++
+	s.BytesMigrated += uint64(len(o.data))
+	return len(o.data), nil
+}
+
+// ActorBytes returns the total object bytes an actor holds on each side.
+func (s *Store) ActorBytes(actor uint32) (nic, host int) {
+	for _, o := range s.objects {
+		if o.owner != actor {
+			continue
+		}
+		if o.side == NIC {
+			nic += len(o.data)
+		} else {
+			host += len(o.data)
+		}
+	}
+	return nic, host
+}
+
+// DestroyActor frees every object and the region of a deregistered
+// actor (the DoS watchdog uses this, §3.4).
+func (s *Store) DestroyActor(actor uint32) {
+	for id, o := range s.objects {
+		if o.owner == actor {
+			delete(s.objects, id)
+		}
+	}
+	delete(s.regions, actor)
+}
+
+// Objects reports the live object count (tests and leak checks).
+func (s *Store) Objects() int { return len(s.objects) }

@@ -1,0 +1,275 @@
+// Package hostsim models the host side of an iPipe node: a pool of
+// beefy Xeon cores running a decentralized multi-queue scheduler
+// (§3.2.1: per-core queues with NIC-side flow steering), executing
+// host-resident actors and, for the baselines, entire DPDK applications.
+//
+// Host CPU usage — the headline metric of Figures 13 and 17 — is the
+// measured busy-core integral over the run, i.e. "how many cores' worth
+// of cycles did this workload consume".
+package hostsim
+
+import (
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// Hooks connects the host scheduler to the node runtime.
+type Hooks struct {
+	// Run executes a host-resident actor's handler and returns the
+	// host-core service time (already scaled for the host's speed).
+	Run func(a *actor.Actor, m actor.Msg) sim.Time
+	// Unowned handles a message whose target actor is not host-resident
+	// (e.g. it migrated back to the NIC mid-flight). Optional.
+	Unowned func(m actor.Msg)
+}
+
+// Config sizes the host.
+type Config struct {
+	Cores int
+	// Steal enables ZygOS-style work stealing between the per-core
+	// queues (the paper cites it for repairing steering imbalance).
+	Steal bool
+	// PollCost is charged per dequeued message (ring polling, epoll).
+	PollCost sim.Time
+}
+
+// Host is the host-side execution engine of one node.
+type Host struct {
+	eng   *sim.Engine
+	cfg   Config
+	hooks Hooks
+
+	queues [][]actor.Msg
+	cores  []*hcore
+	actors map[actor.ID]*actor.Actor
+
+	// Completed counts executed messages; Steals counts stolen ones.
+	Completed uint64
+	Steals    uint64
+}
+
+type hcore struct {
+	h    *Host
+	id   int
+	idle bool
+
+	busyAccum sim.Time
+	busyStart sim.Time
+	busy      bool
+
+	Executed uint64
+}
+
+// New builds a host with the given configuration.
+func New(eng *sim.Engine, cfg Config, hooks Hooks) *Host {
+	if cfg.Cores <= 0 {
+		panic("hostsim: need at least one core")
+	}
+	if hooks.Run == nil {
+		panic("hostsim: Run hook required")
+	}
+	if cfg.PollCost == 0 {
+		cfg.PollCost = 100 * sim.Nanosecond
+	}
+	h := &Host{
+		eng:    eng,
+		cfg:    cfg,
+		hooks:  hooks,
+		queues: make([][]actor.Msg, cfg.Cores),
+		actors: map[actor.ID]*actor.Actor{},
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.cores = append(h.cores, &hcore{h: h, id: i, idle: true})
+	}
+	return h
+}
+
+// AddActor registers a host-resident actor.
+func (h *Host) AddActor(a *actor.Actor) {
+	h.actors[a.ID] = a
+	a.State = actor.Stable
+}
+
+// RemoveActor deregisters an actor (e.g. pulled back to the NIC).
+func (h *Host) RemoveActor(id actor.ID) { delete(h.actors, id) }
+
+// Actor looks up a host-resident actor.
+func (h *Host) Actor(id actor.ID) (*actor.Actor, bool) {
+	a, ok := h.actors[id]
+	return a, ok
+}
+
+// Actors returns the number of host-resident actors.
+func (h *Host) Actors() int { return len(h.actors) }
+
+// LeastLoadedActor returns the host actor with the smallest load, the
+// pull-migration candidate (§3.2.5); nil when none is eligible.
+func (h *Host) LeastLoadedActor() *actor.Actor {
+	var best *actor.Actor
+	for _, a := range h.actors {
+		if a.PinHost || a.State != actor.Stable {
+			continue
+		}
+		if best == nil || a.Load() < best.Load() {
+			best = a
+		}
+	}
+	return best
+}
+
+// Arrive steers a message to a core queue by flow hash and wakes the
+// core. This is the NIC-side flow steering of the paper's host model.
+func (h *Host) Arrive(m actor.Msg) {
+	m.ArrivedAt = h.eng.Now()
+	i := int(m.FlowID % uint64(h.cfg.Cores))
+	h.queues[i] = append(h.queues[i], m)
+	h.cores[i].kick()
+	if h.cfg.Steal {
+		// An idle core may steal immediately.
+		for _, c := range h.cores {
+			if c.idle {
+				c.kick()
+				break
+			}
+		}
+	}
+}
+
+// Backlog reports queued messages across all cores.
+func (h *Host) Backlog() int {
+	n := 0
+	for _, q := range h.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// BusyCoreSeconds returns the integral of busy cores over virtual time,
+// in core-seconds. Divide by elapsed seconds for "cores used".
+func (h *Host) BusyCoreSeconds() float64 {
+	var total sim.Time
+	now := h.eng.Now()
+	for _, c := range h.cores {
+		total += c.busyAccum
+		if c.busy {
+			total += now - c.busyStart
+		}
+	}
+	return total.Seconds()
+}
+
+// CoresUsed returns average busy cores since t=0.
+func (h *Host) CoresUsed() float64 {
+	el := h.eng.Now().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return h.BusyCoreSeconds() / el
+}
+
+func (c *hcore) kick() {
+	if !c.idle {
+		return
+	}
+	c.idle = false
+	c.h.eng.Defer(c.step)
+}
+
+func (c *hcore) pop() (actor.Msg, bool) {
+	h := c.h
+	if q := h.queues[c.id]; len(q) > 0 {
+		m := q[0]
+		h.queues[c.id] = q[1:]
+		return m, true
+	}
+	if !h.cfg.Steal {
+		return actor.Msg{}, false
+	}
+	victim, best := -1, 0
+	for i, q := range h.queues {
+		if i != c.id && len(q) > best {
+			victim, best = i, len(q)
+		}
+	}
+	if victim == -1 {
+		return actor.Msg{}, false
+	}
+	q := h.queues[victim]
+	m := q[len(q)-1]
+	h.queues[victim] = q[:len(q)-1]
+	h.Steals++
+	return m, true
+}
+
+func (c *hcore) step() {
+	h := c.h
+	m, ok := c.pop()
+	if !ok {
+		c.idle = true
+		c.endBusy()
+		return
+	}
+	a, resident := h.actors[m.Dst]
+	if !resident {
+		c.occupy(h.cfg.PollCost, func() {
+			if h.hooks.Unowned != nil {
+				h.hooks.Unowned(m)
+			}
+			c.step()
+		})
+		return
+	}
+	if !a.TryAcquire() {
+		// Exclusive actor busy elsewhere: park on the actor; the
+		// releasing core drains (a requeue would busy-spin).
+		c.occupy(h.cfg.PollCost, func() {
+			if a.Running() > 0 {
+				a.Mailbox.Push(m)
+			} else {
+				h.queues[c.id] = append(h.queues[c.id], m)
+			}
+			c.step()
+		})
+		return
+	}
+	c.exec(a, m)
+}
+
+// exec runs one message and then drains messages parked while the actor
+// was exclusively held.
+func (c *hcore) exec(a *actor.Actor, m actor.Msg) {
+	h := c.h
+	service := h.cfg.PollCost + h.hooks.Run(a, m)
+	c.occupy(service, func() {
+		c.Executed++
+		h.Completed++
+		a.Observe(h.eng.Now()-m.ArrivedAt, service, m.WireSize)
+		if next, ok := a.Mailbox.Pop(); ok {
+			c.exec(a, next)
+			return
+		}
+		a.Release()
+		c.step()
+	})
+}
+
+func (c *hcore) occupy(d sim.Time, fn func()) {
+	if !c.busy {
+		c.busy = true
+		c.busyStart = c.h.eng.Now()
+	}
+	c.h.eng.After(d, func() {
+		if c.busy {
+			c.busy = false
+			c.busyAccum += c.h.eng.Now() - c.busyStart
+		}
+		fn()
+	})
+}
+
+func (c *hcore) endBusy() {
+	if c.busy {
+		c.busy = false
+		c.busyAccum += c.h.eng.Now() - c.busyStart
+	}
+}

@@ -1,0 +1,304 @@
+// Package microbench implements the representative in-network offloaded
+// workloads of Table 3 as real, testable data structures: a count-min
+// sketch flow monitor, a key-value cache, a top ranker, a leaky-bucket
+// rate limiter, an LPM trie router, a Maglev load balancer, a pFabric
+// packet scheduler over a BST, a naive Bayes flow classifier, and chain
+// replication. The firewall TCAM lives in internal/apps/nf.
+//
+// Each workload pairs its functional implementation with the Table 3
+// microarchitectural profile, so the Table 3 bench regenerates the
+// paper's rows and the scheduler experiments get realistic cost mixes.
+package microbench
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Workload is one Table 3 row: real work plus its cost profile.
+type Workload interface {
+	// Name matches the spec.Workloads row.
+	Name() string
+	// Process handles one request payload, returning an opaque result
+	// (tests inspect it) — the real computation happens here.
+	Process(pkt []byte) uint64
+}
+
+// Actor wraps a workload as an iPipe actor charging the Table 3 profile
+// scaled by request size.
+func Actor(id actor.ID, w Workload) *actor.Actor {
+	prof, ok := spec.WorkloadByName(w.Name())
+	if !ok {
+		panic("microbench: no Table 3 profile for " + w.Name())
+	}
+	a := &actor.Actor{
+		ID:       id,
+		Name:     w.Name(),
+		MemBound: prof.MemBoundFraction(),
+	}
+	a.OnMessage = func(ctx actor.Ctx, m actor.Msg) sim.Time {
+		w.Process(m.Data)
+		if m.Reply != nil {
+			resp := m
+			resp.Data = []byte{1}
+			ctx.Reply(resp)
+		}
+		scale := float64(len(m.Data)) / 1024.0
+		if scale < 0.1 {
+			scale = 0.1
+		}
+		return sim.Time(float64(prof.ExecLat1KB) * scale)
+	}
+	return a
+}
+
+// --- Flow monitor: count-min sketch (2-D array) -----------------------
+
+// CountMin is a count-min sketch over d rows of w counters.
+type CountMin struct {
+	d, w  int
+	cells []uint32
+}
+
+// NewCountMin builds a sketch; d rows, w counters per row.
+func NewCountMin(d, w int) *CountMin {
+	if d <= 0 || w <= 0 {
+		panic("microbench: sketch dims must be positive")
+	}
+	return &CountMin{d: d, w: w, cells: make([]uint32, d*w)}
+}
+
+func (c *CountMin) hash(row int, key []byte) int {
+	h := fnv.New64a()
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], uint32(row)*0x9e3779b9+1)
+	h.Write(seed[:])
+	h.Write(key)
+	return int(h.Sum64() % uint64(c.w))
+}
+
+// Add counts one occurrence of key.
+func (c *CountMin) Add(key []byte) {
+	for r := 0; r < c.d; r++ {
+		c.cells[r*c.w+c.hash(r, key)]++
+	}
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (c *CountMin) Estimate(key []byte) uint32 {
+	est := ^uint32(0)
+	for r := 0; r < c.d; r++ {
+		v := c.cells[r*c.w+c.hash(r, key)]
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Name implements Workload.
+func (c *CountMin) Name() string { return "Flow monitor" }
+
+// Process implements Workload: count the flow key (first 13 bytes).
+func (c *CountMin) Process(pkt []byte) uint64 {
+	k := pkt
+	if len(k) > 13 {
+		k = k[:13]
+	}
+	c.Add(k)
+	return uint64(c.Estimate(k))
+}
+
+// --- KV cache: hashtable ----------------------------------------------
+
+// KVCache is a bounded hash-map cache with FIFO-ish eviction (the
+// paper's KV cache serves read/write/delete against a hashtable).
+type KVCache struct {
+	m     map[string][]byte
+	order []string
+	cap   int
+	Hits  uint64
+	Miss  uint64
+}
+
+// NewKVCache bounds the cache at capn entries.
+func NewKVCache(capn int) *KVCache {
+	return &KVCache{m: map[string][]byte{}, cap: capn}
+}
+
+// Put stores a value, evicting the oldest entry when full.
+func (k *KVCache) Put(key string, val []byte) {
+	if _, ok := k.m[key]; !ok {
+		if len(k.m) >= k.cap && len(k.order) > 0 {
+			old := k.order[0]
+			k.order = k.order[1:]
+			delete(k.m, old)
+		}
+		k.order = append(k.order, key)
+	}
+	k.m[key] = val
+}
+
+// Get fetches a value.
+func (k *KVCache) Get(key string) ([]byte, bool) {
+	v, ok := k.m[key]
+	if ok {
+		k.Hits++
+	} else {
+		k.Miss++
+	}
+	return v, ok
+}
+
+// Del removes a key.
+func (k *KVCache) Del(key string) { delete(k.m, key) }
+
+// Len reports entries.
+func (k *KVCache) Len() int { return len(k.m) }
+
+// Name implements Workload.
+func (k *KVCache) Name() string { return "KV cache" }
+
+// Process implements Workload: op byte + 8B key (+ value for puts).
+func (k *KVCache) Process(pkt []byte) uint64 {
+	if len(pkt) < 9 {
+		return 0
+	}
+	key := string(pkt[1:9])
+	switch pkt[0] {
+	case 1: // get
+		if _, ok := k.Get(key); ok {
+			return 1
+		}
+	case 2: // put
+		k.Put(key, append([]byte(nil), pkt[9:]...))
+		return 1
+	case 3:
+		k.Del(key)
+		return 1
+	}
+	return 0
+}
+
+// --- Top ranker: quicksort over a 1-D array ---------------------------
+
+// TopRanker keeps the top-n values seen.
+type TopRanker struct {
+	n    int
+	vals []uint32
+}
+
+// NewTopRanker keeps the n largest values.
+func NewTopRanker(n int) *TopRanker { return &TopRanker{n: n} }
+
+// Offer adds values and re-ranks (quicksort, as in the paper).
+func (t *TopRanker) Offer(vs ...uint32) {
+	t.vals = append(t.vals, vs...)
+	quicksortDesc(t.vals)
+	if len(t.vals) > 4*t.n {
+		t.vals = t.vals[:t.n]
+	}
+}
+
+// Top returns the current top-n (descending).
+func (t *TopRanker) Top() []uint32 {
+	if len(t.vals) > t.n {
+		return t.vals[:t.n]
+	}
+	return t.vals
+}
+
+func quicksortDesc(a []uint32) {
+	if len(a) < 2 {
+		return
+	}
+	pivot := a[len(a)/2]
+	l, r := 0, len(a)-1
+	for l <= r {
+		for a[l] > pivot {
+			l++
+		}
+		for a[r] < pivot {
+			r--
+		}
+		if l <= r {
+			a[l], a[r] = a[r], a[l]
+			l++
+			r--
+		}
+	}
+	quicksortDesc(a[:r+1])
+	quicksortDesc(a[l:])
+}
+
+// Name implements Workload.
+func (t *TopRanker) Name() string { return "Top ranker" }
+
+// Process implements Workload: payload is a vector of uint32s.
+func (t *TopRanker) Process(pkt []byte) uint64 {
+	var vs []uint32
+	for len(pkt) >= 4 {
+		vs = append(vs, binary.LittleEndian.Uint32(pkt))
+		pkt = pkt[4:]
+	}
+	t.Offer(vs...)
+	top := t.Top()
+	if len(top) == 0 {
+		return 0
+	}
+	return uint64(top[0])
+}
+
+// --- Rate limiter: leaky bucket (FIFO) ---------------------------------
+
+// LeakyBucket is a classic leaky-bucket rate limiter: a queue drained
+// at a fixed rate with bounded depth.
+type LeakyBucket struct {
+	// RatePerSec drains this many units per second; Burst bounds depth.
+	RatePerSec float64
+	Burst      float64
+
+	level   float64
+	last    sim.Time
+	Dropped uint64
+	Passed  uint64
+}
+
+// NewLeakyBucket builds a limiter.
+func NewLeakyBucket(rate, burst float64) *LeakyBucket {
+	return &LeakyBucket{RatePerSec: rate, Burst: burst}
+}
+
+// Allow asks to admit `units` at virtual time now.
+func (l *LeakyBucket) Allow(now sim.Time, units float64) bool {
+	elapsed := (now - l.last).Seconds()
+	l.last = now
+	l.level -= elapsed * l.RatePerSec
+	if l.level < 0 {
+		l.level = 0
+	}
+	if l.level+units > l.Burst {
+		l.Dropped++
+		return false
+	}
+	l.level += units
+	l.Passed++
+	return true
+}
+
+// Name implements Workload.
+func (l *LeakyBucket) Name() string { return "Rate limiter" }
+
+// Process implements Workload (time advances one µs per call in the
+// standalone benchmark harness).
+func (l *LeakyBucket) Process(pkt []byte) uint64 {
+	l.last += 0 // time must be supplied via Allow in real use
+	if l.Allow(l.last+sim.Microsecond, float64(len(pkt))) {
+		return 1
+	}
+	return 0
+}

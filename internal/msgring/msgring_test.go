@@ -1,0 +1,277 @@
+package msgring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func newChannel(slots, batch int) (*sim.Engine, *Channel) {
+	eng := sim.NewEngine(1)
+	dma := pcie.New(eng, spec.LiquidIOII_CN2350().DMA)
+	return eng, NewChannel(eng, dma, slots, batch)
+}
+
+func TestNICToHostFIFO(t *testing.T) {
+	eng, ch := newChannel(64, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := ch.NICPush(Message{Kind: uint16(i), Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	msgs, _ := ch.HostPoll(100)
+	if len(msgs) != 10 {
+		t.Fatalf("polled %d, want 10", len(msgs))
+	}
+	for i, m := range msgs {
+		if int(m.Kind) != i || m.Data[0] != byte(i) {
+			t.Fatalf("out of order at %d: %+v", i, m)
+		}
+	}
+}
+
+func TestMessagesInvisibleUntilDMACompletes(t *testing.T) {
+	eng, ch := newChannel(64, 1)
+	ch.NICPush(Message{Kind: 1})
+	// Before the engine runs, the DMA write has not landed.
+	if msgs, _ := ch.HostPoll(10); len(msgs) != 0 {
+		t.Fatal("message visible before DMA completion")
+	}
+	eng.Run()
+	if msgs, _ := ch.HostPoll(10); len(msgs) != 1 {
+		t.Fatal("message not visible after DMA completion")
+	}
+}
+
+func TestBatchingFlushesAtBatchSize(t *testing.T) {
+	eng, ch := newChannel(64, 4)
+	for i := 0; i < 3; i++ {
+		ch.NICPush(Message{Kind: uint16(i)})
+	}
+	eng.Run()
+	if msgs, _ := ch.HostPoll(10); len(msgs) != 0 {
+		t.Fatal("batch flushed early")
+	}
+	ch.NICPush(Message{Kind: 3}) // 4th triggers flush
+	eng.Run()
+	if msgs, _ := ch.HostPoll(10); len(msgs) != 4 {
+		t.Fatalf("after flush polled %d, want 4", len(msgs))
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	eng, ch := newChannel(64, 16)
+	ch.NICPush(Message{Kind: 9})
+	ch.Flush()
+	eng.Run()
+	if msgs, _ := ch.HostPoll(10); len(msgs) != 1 {
+		t.Fatal("explicit flush did not deliver")
+	}
+	// Flushing an empty channel is a no-op.
+	if cost := ch.Flush(); cost != 0 {
+		t.Fatalf("empty flush cost %v", cost)
+	}
+}
+
+func TestRingFullBackpressure(t *testing.T) {
+	_, ch := newChannel(8, 1)
+	for i := 0; i < 8; i++ {
+		if _, err := ch.NICPush(Message{}); err != nil {
+			t.Fatalf("push %d failed: %v", i, err)
+		}
+	}
+	if _, err := ch.NICPush(Message{}); err != ErrRingFull {
+		t.Fatalf("9th push err = %v, want ErrRingFull", err)
+	}
+}
+
+func TestLazyCreditSync(t *testing.T) {
+	eng, ch := newChannel(8, 1)
+	// Fill, drain fully, then push again: without credit sync the
+	// producer would believe the ring is still full; with lazy sync at
+	// half-ring it has fresh credits.
+	for i := 0; i < 8; i++ {
+		ch.NICPush(Message{})
+	}
+	eng.Run()
+	msgs, _ := ch.HostPoll(8)
+	if len(msgs) != 8 {
+		t.Fatalf("drained %d", len(msgs))
+	}
+	if ch.ToHost().CreditSyncs == 0 {
+		t.Fatal("no credit sync after draining a full ring")
+	}
+	if _, err := ch.NICPush(Message{}); err != nil {
+		t.Fatalf("push after credit sync failed: %v", err)
+	}
+}
+
+func TestCreditSyncIsLazyNotEager(t *testing.T) {
+	eng, ch := newChannel(16, 1)
+	for i := 0; i < 3; i++ {
+		ch.NICPush(Message{})
+	}
+	eng.Run()
+	ch.HostPoll(3) // below half ring (8): no sync yet
+	if ch.ToHost().CreditSyncs != 0 {
+		t.Fatal("credit sync fired below the half-ring threshold")
+	}
+}
+
+func TestChecksumGuardsPartialWrites(t *testing.T) {
+	eng, ch := newChannel(16, 1)
+	ch.NICPush(Message{Data: []byte("payload")})
+	eng.Run()
+	ch.ToHost().Corrupt(0)
+	msgs, _ := ch.HostPoll(10)
+	if len(msgs) != 0 {
+		t.Fatal("corrupted message was delivered")
+	}
+	if ch.ToHost().ChecksumDrops == 0 {
+		t.Fatal("checksum defense did not fire")
+	}
+}
+
+func TestHostToNICRoundTrip(t *testing.T) {
+	eng, ch := newChannel(64, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := ch.HostPush(Message{Kind: uint16(i), Data: []byte(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Message
+	ch.NICPoll(10, func(ms []Message) { got = ms })
+	eng.Run()
+	if len(got) != 5 {
+		t.Fatalf("NIC polled %d, want 5", len(got))
+	}
+	for i, m := range got {
+		if int(m.Kind) != i {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestNICPollEmptyStillCallsBack(t *testing.T) {
+	eng, ch := newChannel(16, 1)
+	called := false
+	ch.NICPoll(4, func(ms []Message) {
+		called = true
+		if ms != nil {
+			t.Errorf("expected nil batch, got %v", ms)
+		}
+	})
+	eng.Run()
+	if !called {
+		t.Fatal("empty poll should still call back")
+	}
+}
+
+func TestNICPushCostIncludesFlushAtBatchBoundary(t *testing.T) {
+	_, ch := newChannel(64, 2)
+	c1, _ := ch.NICPush(Message{})
+	c2, _ := ch.NICPush(Message{}) // triggers flush
+	if c2 <= c1 {
+		t.Fatalf("flush-triggering push cost %v should exceed plain push %v", c2, c1)
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	for _, capn := range []int{0, -1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d did not panic", capn)
+				}
+			}()
+			NewRing(capn)
+		}()
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := Message{Data: make([]byte, 100)}
+	if m.WireSize() != HeaderBytes+100 {
+		t.Fatalf("WireSize = %d", m.WireSize())
+	}
+}
+
+// Property: any interleaving of pushes and full drains preserves count
+// and FIFO order, and never duplicates or loses messages.
+func TestPushPopProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		eng, ch := newChannel(32, 1)
+		next, want := 0, 0
+		for _, op := range ops {
+			if op%3 != 0 { // two thirds pushes
+				if _, err := ch.NICPush(Message{Kind: uint16(next)}); err == nil {
+					next++
+				}
+			} else {
+				eng.Run()
+				msgs, _ := ch.HostPoll(32)
+				for _, m := range msgs {
+					if int(m.Kind) != want {
+						return false
+					}
+					want++
+				}
+			}
+		}
+		eng.Run()
+		for {
+			msgs, _ := ch.HostPoll(32)
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				if int(m.Kind) != want {
+					return false
+				}
+				want++
+			}
+		}
+		return want == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadyCallbacksFire(t *testing.T) {
+	eng, ch := newChannel(32, 2)
+	hostReady, nicReady := 0, 0
+	ch.OnHostReady = func() { hostReady++ }
+	ch.OnNICReady = func() { nicReady++ }
+	ch.NICPush(Message{Kind: 1})
+	ch.NICPush(Message{Kind: 2}) // triggers the batch flush
+	eng.Run()
+	if hostReady != 1 {
+		t.Fatalf("OnHostReady fired %d times, want once per flush", hostReady)
+	}
+	ch.HostPush(Message{Kind: 3})
+	eng.Run()
+	if nicReady != 1 {
+		t.Fatalf("OnNICReady fired %d times", nicReady)
+	}
+}
+
+func TestAppHandleSurvivesRing(t *testing.T) {
+	eng, ch := newChannel(16, 1)
+	type payload struct{ v int }
+	ch.NICPush(Message{Kind: 5, App: &payload{v: 42}})
+	eng.Run()
+	msgs, _ := ch.HostPoll(4)
+	if len(msgs) != 1 {
+		t.Fatal("no message")
+	}
+	p, ok := msgs[0].App.(*payload)
+	if !ok || p.v != 42 {
+		t.Fatalf("App handle lost: %v", msgs[0].App)
+	}
+}

@@ -1,0 +1,191 @@
+// Package netsim simulates the testbed network: full-duplex Ethernet
+// links with serialization and propagation delay, a store-and-forward
+// ToR switch, and a topology connecting named nodes. It stands in for
+// the Arista/Cavium switches and Intel NICs of the paper's 8-node
+// testbed (§2.2.1).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Packet is a frame in flight. Payload carries the application message;
+// Size is the frame size on the wire (quoted packet size, excluding
+// preamble/IFG which the link model adds).
+type Packet struct {
+	Src, Dst string
+	Size     int
+	Payload  any
+	// SentAt records when the packet entered the source link, for
+	// end-to-end latency accounting.
+	SentAt sim.Time
+	// FlowID steers the packet at receivers that hash flows to cores.
+	FlowID uint64
+}
+
+// Handler consumes packets delivered to a node.
+type Handler interface {
+	// Deliver is invoked when the last bit of the packet arrives.
+	Deliver(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// link is one direction of a full-duplex port: a serializer modeled as a
+// single-server FIFO whose service time is the frame's wire time.
+type link struct {
+	gbps    float64
+	station *sim.Station
+	// propagation covers cable + switch cut-through overheads.
+	propagation sim.Time
+}
+
+func newLink(eng *sim.Engine, gbps float64, prop sim.Time) *link {
+	return &link{gbps: gbps, station: sim.NewStation(eng, 1), propagation: prop}
+}
+
+// Network is a star topology: every node connects to one switch. That is
+// exactly the testbed shape (a ToR switch with client and server boxes).
+type Network struct {
+	eng *sim.Engine
+	// SwitchLatency models store-and-forward plus fabric latency.
+	SwitchLatency sim.Time
+
+	nodes map[string]*port
+	// Drops counts packets addressed to unknown nodes.
+	Drops uint64
+	// Delivered counts successfully delivered packets.
+	Delivered uint64
+
+	// LossRate drops each packet independently with this probability
+	// (failure injection; the testbed's switch is otherwise lossless).
+	LossRate float64
+	// Lost counts packets dropped by injected loss.
+	Lost uint64
+}
+
+type port struct {
+	name    string
+	up      *link // node → switch
+	down    *link // switch → node
+	handler Handler
+}
+
+// DefaultSwitchLatency is a typical ToR port-to-port latency.
+const DefaultSwitchLatency = 600 * sim.Nanosecond
+
+// New creates an empty network on the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng, SwitchLatency: DefaultSwitchLatency, nodes: map[string]*port{}}
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Attach connects a node with the given link speed and registers its
+// receive handler. Attaching a duplicate name panics: it is a topology
+// construction bug.
+func (n *Network) Attach(name string, gbps float64, h Handler) {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: node %q attached twice", name))
+	}
+	prop := 300 * sim.Nanosecond // NIC MAC + cable
+	n.nodes[name] = &port{
+		name:    name,
+		up:      newLink(n.eng, gbps, prop),
+		down:    newLink(n.eng, gbps, prop),
+		handler: h,
+	}
+}
+
+// SetHandler replaces the receive handler for a node (used when a
+// runtime boots after topology construction).
+func (n *Network) SetHandler(name string, h Handler) {
+	p, ok := n.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %q", name))
+	}
+	p.handler = h
+}
+
+// Nodes returns the attached node names (order unspecified).
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LinkGbps returns a node's link speed.
+func (n *Network) LinkGbps(name string) float64 {
+	p, ok := n.nodes[name]
+	if !ok {
+		return 0
+	}
+	return p.up.gbps
+}
+
+// Send injects a packet at its source node. The packet serializes on the
+// source uplink, crosses the switch, serializes on the destination
+// downlink, and is then delivered. Sending from or to an unknown node
+// drops the packet (counted in Drops), mirroring a real switch flooding
+// to nowhere.
+func (n *Network) Send(pkt *Packet) {
+	src, ok := n.nodes[pkt.Src]
+	if !ok {
+		n.Drops++
+		return
+	}
+	dst, ok := n.nodes[pkt.Dst]
+	if !ok {
+		n.Drops++
+		return
+	}
+	if n.LossRate > 0 && n.eng.Rand().Float64() < n.LossRate {
+		n.Lost++
+		return
+	}
+	pkt.SentAt = n.eng.Now()
+	wire := spec.SerializationDelay(src.up.gbps, pkt.Size)
+	src.up.station.Submit(&sim.Job{
+		Service: wire,
+		Done: func(_, _, _ sim.Time) {
+			// Propagation to switch, then queue on the downlink after
+			// the switch fabric delay.
+			n.eng.After(src.up.propagation+n.SwitchLatency, func() {
+				down := spec.SerializationDelay(dst.down.gbps, pkt.Size)
+				dst.down.station.Submit(&sim.Job{
+					Service: down,
+					Done: func(_, _, _ sim.Time) {
+						n.eng.After(dst.down.propagation, func() {
+							n.Delivered++
+							if dst.handler != nil {
+								dst.handler.Deliver(pkt)
+							}
+						})
+					},
+				})
+			})
+		},
+	})
+}
+
+// OneWayBaseLatency returns the unloaded one-way latency for a frame
+// size between two nodes, useful for analytical checks in tests.
+func (n *Network) OneWayBaseLatency(src, dst string, size int) sim.Time {
+	s, d := n.nodes[src], n.nodes[dst]
+	if s == nil || d == nil {
+		return 0
+	}
+	return spec.SerializationDelay(s.up.gbps, size) + s.up.propagation +
+		n.SwitchLatency +
+		spec.SerializationDelay(d.down.gbps, size) + d.down.propagation
+}

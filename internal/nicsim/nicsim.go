@@ -1,0 +1,171 @@
+// Package nicsim models the SmartNIC device itself: the traffic manager
+// (including its packets-per-second ceiling), the bank of hardware
+// accelerators (Table 3), and the standalone echo server used by the
+// paper's traffic-control characterization (Figures 2–5). The actor
+// scheduler that runs *on* the NIC cores lives in internal/sched; the
+// node runtime in internal/core composes the two.
+package nicsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// TrafficGate models the traffic manager / NIC switch ingress bound: a
+// single pipeline stage admitting at most PPSCap packets per second.
+// With PPSCap == 0 the gate is transparent.
+type TrafficGate struct {
+	eng     *sim.Engine
+	station *sim.Station
+	perPkt  sim.Time
+
+	Admitted uint64
+}
+
+// NewTrafficGate builds a gate for the model's PPSCap.
+func NewTrafficGate(eng *sim.Engine, m *spec.NICModel) *TrafficGate {
+	g := &TrafficGate{eng: eng}
+	if m.PPSCap > 0 {
+		g.perPkt = sim.Time(1e9 / m.PPSCap)
+		g.station = sim.NewStation(eng, 1)
+	}
+	return g
+}
+
+// Admit passes a packet through the gate; deliver runs when the packet
+// clears the pipeline stage.
+func (g *TrafficGate) Admit(deliver func()) {
+	g.Admitted++
+	if g.station == nil {
+		deliver()
+		return
+	}
+	g.station.Submit(&sim.Job{Service: g.perPkt, Done: func(_, _, _ sim.Time) { deliver() }})
+}
+
+// AccelBank is the NIC's set of domain-specific accelerator units. Each
+// unit serializes invocations (one engine per function block); the
+// invoking core waits for completion, as the paper observes (§2.2.3:
+// "invoking an accelerator is not free since the NIC core has to wait").
+type AccelBank struct {
+	eng   *sim.Engine
+	units map[string]*accelUnit
+}
+
+type accelUnit struct {
+	prof    spec.AccelProfile
+	station *sim.Station
+	Invokes uint64
+}
+
+// NewAccelBank instantiates the model's accelerators.
+func NewAccelBank(eng *sim.Engine, m *spec.NICModel) *AccelBank {
+	b := &AccelBank{eng: eng, units: map[string]*accelUnit{}}
+	for name, prof := range m.Accels {
+		b.units[name] = &accelUnit{prof: prof, station: sim.NewStation(eng, 1)}
+	}
+	return b
+}
+
+// Has reports whether the bank has a unit by that name.
+func (b *AccelBank) Has(name string) bool {
+	_, ok := b.units[name]
+	return ok
+}
+
+// Cost returns the modeled core-side wait for processing n bytes at the
+// given batch size, without submitting work (for planning/what-if).
+// Table 3's latencies are per-request at 1KB; cost scales linearly in
+// payload with a floor of the fixed invocation overhead.
+func (b *AccelBank) Cost(name string, bytes, batch int) (sim.Time, bool) {
+	u, ok := b.units[name]
+	if !ok {
+		return 0, false
+	}
+	per1KB, ok := u.prof.Latency(batch)
+	if !ok {
+		return 0, false
+	}
+	scale := float64(bytes) / 1024.0
+	if scale < 0.25 {
+		scale = 0.25 // invocation overhead floor
+	}
+	return sim.Time(float64(per1KB) * scale), true
+}
+
+// Invoke submits work to a unit and returns the modeled core wait; the
+// core model should stay busy for that long. Contention on the unit is
+// reflected through the station (done fires when the unit finishes).
+func (b *AccelBank) Invoke(name string, bytes, batch int, done func()) (sim.Time, bool) {
+	cost, ok := b.Cost(name, bytes, batch)
+	if !ok {
+		return 0, false
+	}
+	u := b.units[name]
+	u.Invokes++
+	u.station.Submit(&sim.Job{Service: cost, Done: func(_, _, _ sim.Time) {
+		if done != nil {
+			done()
+		}
+	}})
+	return cost, true
+}
+
+// Invokes reports a unit's invocation count.
+func (b *AccelBank) Invokes(name string) uint64 {
+	if u, ok := b.units[name]; ok {
+		return u.Invokes
+	}
+	return 0
+}
+
+// EchoServer is the characterization workload of §2.2.2: the NIC
+// receives packets, touches them, and retransmits, using a configurable
+// number of cores pulling from the shared traffic-manager queue. It
+// reproduces Figures 2, 3 (bandwidth vs cores), 4 (bandwidth vs added
+// per-packet latency) and 5 (latency at peak throughput).
+type EchoServer struct {
+	eng   *sim.Engine
+	model *spec.NICModel
+	gate  *TrafficGate
+	cores *sim.Station
+	// ExtraLatency is added per-packet processing (Figure 4's x-axis).
+	ExtraLatency sim.Time
+
+	Echoed uint64
+	// OnEcho, if set, observes each completion with the packet's sojourn
+	// time (arrival at gate → retransmission).
+	OnEcho func(sojourn sim.Time)
+}
+
+// NewEchoServer builds an echo server using n of the model's cores.
+func NewEchoServer(eng *sim.Engine, m *spec.NICModel, n int) *EchoServer {
+	if n <= 0 || n > m.Cores {
+		panic(fmt.Sprintf("nicsim: echo server cores %d out of range 1..%d", n, m.Cores))
+	}
+	return &EchoServer{
+		eng:   eng,
+		model: m,
+		gate:  NewTrafficGate(eng, m),
+		cores: sim.NewStation(eng, n),
+	}
+}
+
+// Receive handles one arriving frame of the given size.
+func (e *EchoServer) Receive(size int) {
+	arrived := e.eng.Now()
+	e.gate.Admit(func() {
+		service := e.model.EchoCost.Cost(size) + e.ExtraLatency
+		e.cores.Submit(&sim.Job{Service: service, Done: func(_, _, fin sim.Time) {
+			e.Echoed++
+			if e.OnEcho != nil {
+				e.OnEcho(fin - arrived)
+			}
+		}})
+	})
+}
+
+// Backlog returns queued packets at the cores.
+func (e *EchoServer) Backlog() int { return e.cores.QueueLen() }

@@ -1,0 +1,228 @@
+// Package nstack is iPipe's shim customized networking stack (Appendix
+// B.1, Table 4's Nstack API): simple Layer-2/Layer-3 protocol
+// processing — packet encapsulation and decapsulation, checksum
+// generation and verification — built over the packet-processing
+// accelerators on the SmartNIC. Work queue entries (WQEs) carry a
+// packet plus metadata through the NIC, mirroring the OCTEON firmware
+// objects the LiquidIOII exposes.
+//
+// The wire formats are real: Ethernet II framing, IPv4 headers with a
+// correct internet checksum, and UDP. When building a packet whose
+// header and payload are not colocated, SerializeGather returns the
+// segment list a DMA scatter-gather transfer would use (§2.2.5, I6).
+package nstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	// HeaderOverhead is the full encapsulation cost of a UDP datagram.
+	HeaderOverhead = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
+)
+
+// EtherTypeIPv4 is the only EtherType the shim stack speaks.
+const EtherTypeIPv4 = 0x0800
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// Errors surfaced by decapsulation.
+var (
+	ErrTruncated   = errors.New("nstack: truncated packet")
+	ErrEtherType   = errors.New("nstack: not IPv4")
+	ErrBadVersion  = errors.New("nstack: bad IP version/IHL")
+	ErrBadChecksum = errors.New("nstack: IPv4 header checksum mismatch")
+	ErrNotUDP      = errors.New("nstack: not UDP")
+	ErrBadLength   = errors.New("nstack: inconsistent lengths")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String renders the address in colon-hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Addr is an endpoint: MAC, IPv4 address, UDP port.
+type Addr struct {
+	MAC  MAC
+	IP   uint32
+	Port uint16
+}
+
+// Headers describes a decapsulated packet.
+type Headers struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	TTL              uint8
+}
+
+// WQE is a work queue entry: the unit the PKI hands to NIC cores
+// (nstack_new_wqe / nstack_get_wqe in Table 4).
+type WQE struct {
+	// Packet is the full frame.
+	Packet []byte
+	// Headers are filled by Decap.
+	Headers Headers
+	// Payload aliases the UDP payload inside Packet after Decap.
+	Payload []byte
+	// Port is the ingress port index.
+	Port int
+}
+
+// NewWQE wraps a frame (nstack_new_wqe).
+func NewWQE(frame []byte, port int) *WQE {
+	return &WQE{Packet: frame, Port: port}
+}
+
+// ipv4Checksum computes the internet checksum over a header.
+func ipv4Checksum(h []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(h[i : i+2]))
+	}
+	if len(h)%2 == 1 {
+		sum += uint32(h[len(h)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Encap builds a complete Ethernet/IPv4/UDP frame around payload
+// (nstack_hdr_cap + header construction). The IPv4 checksum is real;
+// UDP checksum is zero (legal for IPv4, and what the firmware's
+// hardware checksum offload produces when disabled).
+func Encap(src, dst Addr, payload []byte, ttl uint8) []byte {
+	frame := make([]byte, HeaderOverhead+len(payload))
+	// Ethernet.
+	copy(frame[0:6], dst.MAC[:])
+	copy(frame[6:12], src.MAC[:])
+	binary.BigEndian.PutUint16(frame[12:14], EtherTypeIPv4)
+	// IPv4.
+	ip := frame[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+UDPHeaderLen+len(payload)))
+	ip[8] = ttl
+	ip[9] = ProtoUDP
+	binary.BigEndian.PutUint32(ip[12:16], src.IP)
+	binary.BigEndian.PutUint32(ip[16:20], dst.IP)
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip))
+	// UDP.
+	udp := frame[EthHeaderLen+IPv4HeaderLen : EthHeaderLen+IPv4HeaderLen+UDPHeaderLen]
+	binary.BigEndian.PutUint16(udp[0:2], src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], dst.Port)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+len(payload)))
+	copy(frame[HeaderOverhead:], payload)
+	return frame
+}
+
+// Decap parses and verifies a frame in place, filling the WQE's Headers
+// and Payload (nstack_recv's parsing half).
+func (w *WQE) Decap() error {
+	f := w.Packet
+	if len(f) < HeaderOverhead {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(f[12:14]) != EtherTypeIPv4 {
+		return ErrEtherType
+	}
+	ip := f[EthHeaderLen:]
+	if ip[0] != 0x45 {
+		return ErrBadVersion
+	}
+	if ipv4Checksum(ip[:IPv4HeaderLen]) != 0 {
+		return ErrBadChecksum
+	}
+	if ip[9] != ProtoUDP {
+		return ErrNotUDP
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < IPv4HeaderLen+UDPHeaderLen || EthHeaderLen+totalLen > len(f) {
+		return ErrBadLength
+	}
+	udp := ip[IPv4HeaderLen:]
+	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
+	if udpLen < UDPHeaderLen || IPv4HeaderLen+udpLen > totalLen {
+		return ErrBadLength
+	}
+	copy(w.Headers.DstMAC[:], f[0:6])
+	copy(w.Headers.SrcMAC[:], f[6:12])
+	w.Headers.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	w.Headers.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	w.Headers.TTL = ip[8]
+	w.Headers.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+	w.Headers.DstPort = binary.BigEndian.Uint16(udp[2:4])
+	w.Payload = udp[UDPHeaderLen:udpLen][:udpLen-UDPHeaderLen]
+	return nil
+}
+
+// Reverse swaps the frame's source and destination at every layer and
+// recomputes the IPv4 checksum — the echo server's retransmit path.
+func (w *WQE) Reverse() error {
+	f := w.Packet
+	if len(f) < HeaderOverhead {
+		return ErrTruncated
+	}
+	for i := 0; i < 6; i++ {
+		f[i], f[6+i] = f[6+i], f[i]
+	}
+	ip := f[EthHeaderLen:]
+	for i := 0; i < 4; i++ {
+		ip[12+i], ip[16+i] = ip[16+i], ip[12+i]
+	}
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:IPv4HeaderLen]))
+	udp := ip[IPv4HeaderLen:]
+	for i := 0; i < 2; i++ {
+		udp[i], udp[2+i] = udp[2+i], udp[i]
+	}
+	return nil
+}
+
+// Segment is one piece of a scatter-gather transfer.
+type Segment struct {
+	Data []byte
+}
+
+// SerializeGather produces the DMA scatter-gather segment list for a
+// packet whose header block and payload live at different addresses
+// (§3.5: "when building a packet, it uses the DMA scatter-gather
+// technique to combine the header and payload if they are not
+// colocated"). The returned segments reference the inputs; no copy.
+func SerializeGather(src, dst Addr, payload []byte, ttl uint8) []Segment {
+	hdr := Encap(src, dst, nil, ttl)
+	// Patch lengths for the detached payload.
+	ip := hdr[EthHeaderLen:]
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+UDPHeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:IPv4HeaderLen]))
+	udp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+len(payload)))
+	return []Segment{{Data: hdr}, {Data: payload}}
+}
+
+// Coalesce joins segments into one frame (what the DMA engine's gather
+// does on the wire side).
+func Coalesce(segs []Segment) []byte {
+	n := 0
+	for _, s := range segs {
+		n += len(s.Data)
+	}
+	out := make([]byte, 0, n)
+	for _, s := range segs {
+		out = append(out, s.Data...)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package pcie models the SmartNIC↔host communication path of §2.2.5:
+// DMA engines issuing blocking and non-blocking reads/writes over PCIe
+// Gen3 x8, scatter-gather aggregation, and the RDMA-verb interface that
+// off-path cards expose instead of native DMA. Latency and throughput
+// follow the curves of Figures 7–10 via the spec.DMAProfile parameters.
+//
+// Two costs matter per operation and are deliberately separate:
+//
+//   - the issuing core's occupancy (how long a NIC core is tied up), and
+//   - the engine occupancy (how long the shared DMA engine moves bytes).
+//
+// Blocking operations tie up the core for the full completion latency;
+// non-blocking ones only for the command-insertion cost (I6), which is
+// why the iPipe message rings use batched non-blocking ops.
+package pcie
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// IssueOccupancy is the core-side cost of inserting one non-blocking DMA
+// command into the engine's command queue. It is below the observed
+// non-blocking op latency (spec.DMAProfile.NonBlockingIssue) because
+// command insertion pipelines: Figure 8's ≈10Mops/core small-payload
+// non-blocking rate implies ≈0.1µs of core time per issue.
+const IssueOccupancy = 100 * sim.Nanosecond
+
+// Engine is one DMA engine instance (SmartNICs have several; iPipe uses
+// one per I/O channel). It serializes transfers FIFO.
+type Engine struct {
+	eng     *sim.Engine
+	prof    spec.DMAProfile
+	station *sim.Station
+
+	// Counters for experiment reporting.
+	Reads, Writes   uint64
+	BytesRead       uint64
+	BytesWritten    uint64
+	GatherTransfers uint64
+}
+
+// New creates a DMA engine with the given profile.
+func New(eng *sim.Engine, prof spec.DMAProfile) *Engine {
+	return &Engine{eng: eng, prof: prof, station: sim.NewStation(eng, 1)}
+}
+
+// Profile returns the engine's cost profile.
+func (e *Engine) Profile() spec.DMAProfile { return e.prof }
+
+// op submits a transfer and fires done when the completion word would be
+// observed. latency is the unloaded completion latency for this op; the
+// engine occupancy is the byte-transfer time, so contention adds
+// queueing on top of the unloaded latency.
+func (e *Engine) op(bytes int, latency sim.Time, done func()) {
+	transfer := e.prof.TransferTime(bytes)
+	overhead := latency - transfer
+	if overhead < 0 {
+		overhead = 0
+	}
+	e.station.Submit(&sim.Job{
+		Service: transfer,
+		Done: func(_, _, _ sim.Time) {
+			if done == nil {
+				return
+			}
+			e.eng.After(overhead, done)
+		},
+	})
+}
+
+// ReadBlocking starts a host-memory read. done fires when the completion
+// word arrives; the caller (a core model) should stay busy until then.
+// It returns the unloaded completion latency so callers can charge core
+// occupancy without waiting for the callback.
+func (e *Engine) ReadBlocking(bytes int, done func()) sim.Time {
+	e.Reads++
+	e.BytesRead += uint64(bytes)
+	lat := e.prof.ReadLatency(bytes)
+	e.op(bytes, lat, done)
+	return lat
+}
+
+// WriteBlocking starts a host-memory write; see ReadBlocking.
+func (e *Engine) WriteBlocking(bytes int, done func()) sim.Time {
+	e.Writes++
+	e.BytesWritten += uint64(bytes)
+	lat := e.prof.WriteLatency(bytes)
+	e.op(bytes, lat, done)
+	return lat
+}
+
+// ReadAsync issues a non-blocking read: the core pays only
+// IssueOccupancy; done fires when the data lands. The returned value is
+// the core-side cost.
+func (e *Engine) ReadAsync(bytes int, done func()) sim.Time {
+	e.Reads++
+	e.BytesRead += uint64(bytes)
+	e.op(bytes, e.prof.ReadLatency(bytes), done)
+	return IssueOccupancy
+}
+
+// WriteAsync issues a non-blocking write; see ReadAsync.
+func (e *Engine) WriteAsync(bytes int, done func()) sim.Time {
+	e.Writes++
+	e.BytesWritten += uint64(bytes)
+	e.op(bytes, e.prof.WriteLatency(bytes), done)
+	return IssueOccupancy
+}
+
+// WriteGather aggregates several segments into one PCIe transfer using
+// DMA scatter-gather (I6: "aggregate transfers into large PCIe
+// messages"). One fixed protocol cost covers all segments.
+func (e *Engine) WriteGather(segments []int, done func()) sim.Time {
+	total := 0
+	for _, s := range segments {
+		total += s
+	}
+	e.GatherTransfers++
+	return e.WriteAsync(total, done)
+}
+
+// InFlight reports queued-plus-active transfers, used by backpressure
+// logic in the message rings.
+func (e *Engine) InFlight() int { return e.station.QueueLen() + e.station.InService() }
+
+// RDMA wraps an Engine with verb-flavoured naming for off-path cards.
+// One-sided verbs behave like blocking DMA ops with the RDMA profile's
+// higher software overheads (Figures 9–10).
+type RDMA struct{ *Engine }
+
+// NewRDMA creates an RDMA interface; the profile should have RDMA set.
+func NewRDMA(eng *sim.Engine, prof spec.DMAProfile) RDMA {
+	return RDMA{New(eng, prof)}
+}
+
+// ReadOneSided performs a one-sided RDMA read.
+func (r RDMA) ReadOneSided(bytes int, done func()) sim.Time {
+	return r.ReadBlocking(bytes, done)
+}
+
+// WriteOneSided performs a one-sided RDMA write.
+func (r RDMA) WriteOneSided(bytes int, done func()) sim.Time {
+	return r.WriteBlocking(bytes, done)
+}

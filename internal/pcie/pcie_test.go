@@ -1,0 +1,161 @@
+package pcie
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func liquidEngine() (*sim.Engine, *Engine) {
+	eng := sim.NewEngine(1)
+	return eng, New(eng, spec.LiquidIOII_CN2350().DMA)
+}
+
+func TestBlockingReadLatencyUnloaded(t *testing.T) {
+	eng, dma := liquidEngine()
+	var done sim.Time
+	want := dma.ReadBlocking(64, func() { done = eng.Now() })
+	eng.Run()
+	if done != want {
+		t.Fatalf("completion at %v, want %v", done, want)
+	}
+	// Figure 7: small blocking reads land near 1µs.
+	if want < sim.Micros(0.9) || want > sim.Micros(1.3) {
+		t.Fatalf("64B blocking read latency %v implausible", want)
+	}
+}
+
+func TestBlockingLatencyGrowsWithPayload(t *testing.T) {
+	_, dma := liquidEngine()
+	small := dma.Profile().ReadLatency(4)
+	big := dma.Profile().ReadLatency(2048)
+	if big <= small {
+		t.Fatal("blocking latency must grow with payload")
+	}
+	// Figure 7: ≈3.6µs at 2KB.
+	if big < sim.Micros(3.0) || big > sim.Micros(4.2) {
+		t.Fatalf("2KB blocking read = %v, want ≈3.6µs", big)
+	}
+}
+
+func TestNonBlockingCoreCostIsFlat(t *testing.T) {
+	_, dma := liquidEngine()
+	c1 := dma.WriteAsync(4, nil)
+	c2 := dma.WriteAsync(2048, nil)
+	if c1 != c2 || c1 != IssueOccupancy {
+		t.Fatalf("async issue costs %v/%v, want flat %v", c1, c2, IssueOccupancy)
+	}
+}
+
+func TestEngineContentionQueues(t *testing.T) {
+	eng, dma := liquidEngine()
+	var first, second sim.Time
+	dma.WriteBlocking(2048, func() { first = eng.Now() })
+	dma.WriteBlocking(2048, func() { second = eng.Now() })
+	eng.Run()
+	if second <= first {
+		t.Fatal("second transfer should finish after first")
+	}
+	// The second waits one engine transfer time behind the first.
+	gap := second - first
+	want := dma.Profile().TransferTime(2048)
+	if gap != want {
+		t.Fatalf("queueing gap %v, want %v", gap, want)
+	}
+}
+
+// TestFig8ThroughputShape: non-blocking small-payload throughput is
+// core-issue-bound (≈10Mops); large payloads become engine-bandwidth
+// bound; blocking is latency-bound and much lower.
+func TestFig8ThroughputShape(t *testing.T) {
+	_, dma := liquidEngine()
+	smallAsync := 1.0 / IssueOccupancy.Seconds()
+	largeAsync := 1.0 / dma.Profile().TransferTime(2048).Seconds()
+	blocking64 := 1.0 / dma.Profile().WriteLatency(64).Seconds()
+	if smallAsync < 8e6 {
+		t.Fatalf("small async rate %.2e, want ≈1e7", smallAsync)
+	}
+	if largeAsync > smallAsync/5 {
+		t.Fatalf("large async should be bandwidth-bound well below small: %.2e vs %.2e", largeAsync, smallAsync)
+	}
+	if blocking64 > smallAsync/3 {
+		t.Fatalf("blocking rate %.2e should trail async %.2e", blocking64, smallAsync)
+	}
+}
+
+func TestWriteGatherAggregates(t *testing.T) {
+	eng, dma := liquidEngine()
+	var gathered sim.Time
+	segs := []int{64, 128, 256}
+	dma.WriteGather(segs, func() { gathered = eng.Now() })
+	eng.Run()
+	// One transfer of 448B, not three fixed costs.
+	want := dma.Profile().WriteLatency(448)
+	if gathered != want {
+		t.Fatalf("gather completion %v, want %v", gathered, want)
+	}
+	if dma.GatherTransfers != 1 || dma.Writes != 1 {
+		t.Fatalf("gather should count as one write: %d/%d", dma.GatherTransfers, dma.Writes)
+	}
+	// Aggregation beats three separate blocking writes.
+	separate := dma.Profile().WriteLatency(64) + dma.Profile().WriteLatency(128) + dma.Profile().WriteLatency(256)
+	if want >= separate {
+		t.Fatal("scatter-gather should beat separate transfers")
+	}
+}
+
+func TestRDMALatencyDoubling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rdma := NewRDMA(eng, spec.BlueField_1M332A().DMA)
+	dma := New(eng, spec.LiquidIOII_CN2350().DMA)
+	for _, size := range []int{4, 64, 256} {
+		r := float64(rdma.Profile().ReadLatency(size)) / float64(dma.Profile().ReadLatency(size))
+		if r < 1.5 || r > 2.6 {
+			t.Fatalf("RDMA/DMA latency ratio at %dB = %.2f, want ≈2 (Fig 9)", size, r)
+		}
+	}
+}
+
+func TestRDMAOneSidedCompletes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rdma := NewRDMA(eng, spec.BlueField_1M332A().DMA)
+	var rAt, wAt sim.Time
+	rdma.ReadOneSided(512, func() { rAt = eng.Now() })
+	eng.Run()
+	rdma.WriteOneSided(512, func() { wAt = eng.Now() })
+	eng.Run()
+	if rAt == 0 || wAt == 0 {
+		t.Fatal("one-sided verbs did not complete")
+	}
+	if wAt-rAt >= rAt {
+		t.Fatal("write should be cheaper than read")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng, dma := liquidEngine()
+	dma.ReadBlocking(100, nil)
+	dma.WriteAsync(200, nil)
+	eng.Run()
+	if dma.Reads != 1 || dma.Writes != 1 {
+		t.Fatalf("counters %d/%d", dma.Reads, dma.Writes)
+	}
+	if dma.BytesRead != 100 || dma.BytesWritten != 200 {
+		t.Fatalf("bytes %d/%d", dma.BytesRead, dma.BytesWritten)
+	}
+}
+
+func TestInFlightBackpressureSignal(t *testing.T) {
+	eng, dma := liquidEngine()
+	for i := 0; i < 5; i++ {
+		dma.WriteAsync(2048, nil)
+	}
+	if got := dma.InFlight(); got != 5 {
+		t.Fatalf("InFlight = %d, want 5", got)
+	}
+	eng.Run()
+	if got := dma.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d", got)
+	}
+}

@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"repro/internal/actor"
+	"repro/internal/sim"
+)
+
+// core is one NIC core running either the FCFS loop (ALG 1) or the DRR
+// loop (ALG 2). Cores are event-driven state machines: kick() starts the
+// loop when work may be available; the loop parks (idle=true) when it
+// finds none.
+type core struct {
+	s    *Scheduler
+	id   int
+	mode Mode
+	idle bool
+
+	// drrPos is this core's round-robin cursor into the runnable queue.
+	drrPos int
+
+	// Busy-time accounting.
+	busyAccum sim.Time
+	busyStart sim.Time
+	busy      bool
+	// winU is the busy fraction over the monitor's last window; winPrev
+	// the accumulator snapshot at the previous monitor tick.
+	winU    float64
+	winPrev sim.Time
+
+	// Executed counts completed actor invocations on this core.
+	Executed uint64
+}
+
+func newCore(s *Scheduler, id int) *core {
+	return &core{s: s, id: id, mode: FCFS, idle: true}
+}
+
+func (c *core) setMode(m Mode) {
+	c.mode = m
+	c.kick()
+}
+
+// kick schedules the core's loop if it is parked.
+func (c *core) kick() {
+	if !c.idle {
+		return
+	}
+	c.idle = false
+	c.s.eng.Defer(c.step)
+}
+
+// occupy charges d of busy time, then continues with fn.
+func (c *core) occupy(d sim.Time, fn func()) {
+	c.beginBusy()
+	c.s.eng.After(d, func() {
+		c.endBusy()
+		fn()
+	})
+}
+
+func (c *core) beginBusy() {
+	if !c.busy {
+		c.busy = true
+		c.busyStart = c.s.eng.Now()
+	}
+}
+
+func (c *core) endBusy() {
+	if c.busy {
+		c.busy = false
+		c.busyAccum += c.s.eng.Now() - c.busyStart
+	}
+}
+
+// settle folds any in-progress busy period into the accumulator (for
+// utilization snapshots).
+func (c *core) settle() {
+	if c.busy {
+		now := c.s.eng.Now()
+		c.busyAccum += now - c.busyStart
+		c.busyStart = now
+	}
+}
+
+// step is the core's main loop body.
+func (c *core) step() {
+	switch c.mode {
+	case FCFS:
+		c.stepFCFS()
+	case DRR:
+		c.stepDRR()
+	case Dispatch:
+		c.stepDispatch()
+	}
+}
+
+// stepDispatch is the IOKernel dispatcher loop (§3.2.6): drain the
+// central ingress buffer into per-worker queues, one routing decision
+// per DispatcherCost.
+func (c *core) stepDispatch() {
+	s := c.s
+	q, ok := s.queue.(*iokQueue)
+	if !ok {
+		c.idle = true
+		return
+	}
+	worker, any := q.dispatchOne()
+	if !any {
+		c.idle = true
+		c.endBusy()
+		return
+	}
+	c.occupy(s.cfg.DispatcherCost, func() {
+		if worker < len(s.cores) {
+			s.cores[worker].kick()
+		}
+		c.step()
+	})
+}
+
+// stepFCFS implements ALG 1: fetch from the shared queue, dispatch to
+// the target actor, run to completion; push DRR-resident actors'
+// messages to their mailboxes instead.
+func (c *core) stepFCFS() {
+	s := c.s
+	m, ok := s.queue.pop(c.id)
+	if !ok {
+		c.idle = true
+		c.endBusy()
+		return
+	}
+	tax := s.hooks.FwdTax(m.WireSize)
+	a, resident := s.actors[m.Dst]
+	switch {
+	case !resident || a.State == actor.Gone || a.State == actor.Clean:
+		// Host-bound traffic (or an actor that just left): forward.
+		c.occupy(tax, func() {
+			s.Forwarded++
+			s.observeFCFS(m)
+			if s.hooks.Forward != nil {
+				s.hooks.Forward(m)
+			}
+			c.afterOp()
+		})
+	case a.State == actor.Prepare || a.State == actor.Ready:
+		// Migrating: buffer in the runtime mailbox; phase 4 forwards it.
+		c.occupy(s.cfg.DispatchCost, func() {
+			a.Mailbox.Push(m)
+			c.afterOp()
+		})
+	case a.InDRR:
+		c.occupy(tax+s.cfg.DispatchCost, func() {
+			// Re-check: the actor may have been upgraded back to FCFS
+			// while this dispatch was in flight; its mailbox would then
+			// never be drained.
+			if a.InDRR {
+				a.Mailbox.Push(m)
+				s.wakeDRR()
+			} else {
+				s.queue.push(m)
+				s.wakeFCFS()
+			}
+			c.afterOp()
+		})
+	default:
+		if !a.TryAcquire() {
+			// Exclusive actor busy on another core: park the message on
+			// the actor; the releasing core drains it. (A naive requeue
+			// would busy-spin the shared queue.)
+			c.occupy(s.cfg.DispatchCost, func() {
+				if a.Running() > 0 || a.InDRR || a.State != actor.Stable {
+					a.Mailbox.Push(m)
+				} else {
+					s.queue.push(m)
+					s.wakeFCFS()
+				}
+				c.afterOp()
+			})
+			return
+		}
+		c.execFCFS(a, m, tax)
+	}
+}
+
+// execFCFS runs one message to completion and then drains any messages
+// parked on the actor while it was exclusively held.
+func (c *core) execFCFS(a *actor.Actor, m actor.Msg, tax sim.Time) {
+	s := c.s
+	service := tax + s.cfg.ExtraDispatch + s.hooks.Run(a, m)
+	c.occupy(service, func() {
+		c.Executed++
+		s.Completed++
+		sojourn := s.eng.Now() - m.ArrivedAt
+		a.Observe(sojourn, service, m.WireSize)
+		s.observeFCFS(m)
+		// ALG 1 lines 13–16: downgrade on tail breach.
+		if s.cfg.TailThresh > 0 && s.fcfsStats.Tail() > s.cfg.TailThresh {
+			s.downgrade()
+		}
+		if a.State == actor.Stable && !a.InDRR {
+			if next, ok := a.Mailbox.Pop(); ok {
+				// Keep the lock; run the parked message immediately.
+				c.execFCFS(a, next, s.hooks.FwdTax(next.WireSize))
+				return
+			}
+		}
+		a.Release()
+		c.afterOp()
+	})
+}
+
+// afterOp runs the time-gated management duties and continues the loop.
+func (c *core) afterOp() {
+	c.s.maybeMonitor()
+	c.step()
+}
+
+// observeFCFS records the sojourn time of one FCFS operation.
+func (s *Scheduler) observeFCFS(m actor.Msg) {
+	s.fcfsStats.Observe((s.eng.Now() - m.ArrivedAt).Micros())
+}
+
+// stepDRR implements ALG 2: scan runnable actors round-robin, crediting
+// each visited non-empty actor with its quantum and executing one
+// request when the deficit covers the actor's estimated latency.
+func (c *core) stepDRR() {
+	s := c.s
+	n := len(s.drrRunnable)
+	if n == 0 {
+		c.idle = true
+		c.endBusy()
+		// No runnable actors: this core is only useful as FCFS again;
+		// the scheduler collapses DRR cores on upgrade, but an actor may
+		// also have been migrated away — collapse here too.
+		s.collapseDRRCores()
+		return
+	}
+	// Visit up to n actors; if none can execute, park until new mail.
+	for i := 0; i < n; i++ {
+		if len(s.drrRunnable) == 0 {
+			break
+		}
+		c.drrPos %= len(s.drrRunnable)
+		a := s.drrRunnable[c.drrPos]
+		c.drrPos++
+		if a.Mailbox.Len() == 0 {
+			a.Deficit = 0 // ALG 2 lines 15–17
+			continue
+		}
+		if a.State != actor.Stable {
+			continue
+		}
+		// Update deficit with the actor's quantum.
+		q := sim.Microsecond
+		if s.hooks.Quantum != nil {
+			q = s.hooks.Quantum(int(a.SizeStats.Mean()))
+		}
+		a.Deficit += q
+		est := sim.Micros(a.ServiceStats.Mean())
+		if a.Deficit <= est {
+			// Not enough credit yet; the scan itself costs time.
+			c.occupy(s.cfg.ScanCost, c.step)
+			return
+		}
+		if !a.TryAcquire() {
+			continue
+		}
+		m, _ := a.Mailbox.Pop()
+		a.Deficit -= est
+		service := s.hooks.Run(a, m)
+		c.occupy(s.cfg.ScanCost+service, func() {
+			a.Release()
+			c.Executed++
+			s.Completed++
+			sojourn := s.eng.Now() - m.ArrivedAt
+			a.Observe(sojourn, service, m.WireSize)
+			// ALG 2 lines 10–12: upgrade on tail recovery.
+			if !s.cfg.AllDRR && s.cfg.TailThresh > 0 &&
+				s.fcfsStats.Tail() < (1-s.cfg.Alpha)*s.cfg.TailThresh {
+				s.upgrade()
+			}
+			c.s.maybeMonitor()
+			// ALG 2 lines 18–20: mailbox overflow forces migration.
+			if s.hooks.PushToHost != nil && s.cfg.QThresh > 0 &&
+				a.Mailbox.Len() > s.cfg.QThresh && !s.migrationInFlight &&
+				a.State == actor.Stable && !a.PinNIC {
+				s.migrationInFlight = true
+				s.lastMigration = s.eng.Now()
+				s.PushMigrations++
+				a.State = actor.Prepare
+				s.hooks.PushToHost(a)
+			}
+			c.step()
+		})
+		return
+	}
+	// Every runnable actor had an empty mailbox (or was busy elsewhere).
+	c.idle = true
+	c.endBusy()
+}

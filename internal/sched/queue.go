@@ -1,0 +1,150 @@
+package sched
+
+import "repro/internal/actor"
+
+// inQueue abstracts the ingress path feeding FCFS cores. On-path NICs
+// have a hardware traffic manager providing a shared queue with
+// negligible synchronization cost (I2); off-path NICs get a software
+// shuffle layer: per-core queues steered by flow with ZygOS-style work
+// stealing when a core runs dry (§3.2.6).
+type inQueue interface {
+	push(m actor.Msg)
+	// pop fetches the next message for the given core.
+	pop(coreID int) (actor.Msg, bool)
+	len() int
+}
+
+// sharedQueue is the hardware traffic manager model: one FIFO, any core.
+type sharedQueue struct {
+	q []actor.Msg
+}
+
+func newSharedQueue() *sharedQueue { return &sharedQueue{} }
+
+func (s *sharedQueue) push(m actor.Msg) { s.q = append(s.q, m) }
+
+func (s *sharedQueue) pop(int) (actor.Msg, bool) {
+	if len(s.q) == 0 {
+		return actor.Msg{}, false
+	}
+	m := s.q[0]
+	s.q = s.q[1:]
+	return m, true
+}
+
+func (s *sharedQueue) len() int { return len(s.q) }
+
+// shuffleQueue is the software alternative: a single-producer,
+// multi-consumer shuffle layer steering flows to per-core queues, with
+// work stealing to repair the load imbalance flow steering causes.
+type shuffleQueue struct {
+	perCore [][]actor.Msg
+	// Steals counts stolen messages, exposing the imbalance repair rate.
+	Steals uint64
+}
+
+func newShuffleQueue(cores int) *shuffleQueue {
+	return &shuffleQueue{perCore: make([][]actor.Msg, cores)}
+}
+
+func (s *shuffleQueue) push(m actor.Msg) {
+	i := int(m.FlowID % uint64(len(s.perCore)))
+	s.perCore[i] = append(s.perCore[i], m)
+}
+
+func (s *shuffleQueue) pop(coreID int) (actor.Msg, bool) {
+	n := len(s.perCore)
+	if coreID >= n {
+		coreID = coreID % n
+	}
+	if q := s.perCore[coreID]; len(q) > 0 {
+		m := q[0]
+		s.perCore[coreID] = q[1:]
+		return m, true
+	}
+	// Steal from the longest victim queue.
+	victim, best := -1, 0
+	for i, q := range s.perCore {
+		if i != coreID && len(q) > best {
+			victim, best = i, len(q)
+		}
+	}
+	if victim == -1 {
+		return actor.Msg{}, false
+	}
+	q := s.perCore[victim]
+	m := q[len(q)-1] // steal from the tail, as work stealers do
+	s.perCore[victim] = q[:len(q)-1]
+	s.Steals++
+	return m, true
+}
+
+func (s *shuffleQueue) len() int {
+	n := 0
+	for _, q := range s.perCore {
+		n += len(q)
+	}
+	return n
+}
+
+// iokQueue is the second §3.2.6 alternative for NICs without a hardware
+// traffic manager: a Shenango-IOKernel-style design where one dedicated
+// core drains a central ingress buffer and distributes messages to
+// per-worker queues. The dispatcher core is lost to actor execution;
+// workers read only their own queue (no stealing — the dispatcher is
+// responsible for balance).
+type iokQueue struct {
+	central []actor.Msg
+	perCore [][]actor.Msg
+	// Dispatched counts messages routed by the dispatcher core.
+	Dispatched uint64
+	// rr is the dispatcher's round-robin cursor.
+	rr int
+}
+
+func newIOKQueue(workers int) *iokQueue {
+	return &iokQueue{perCore: make([][]actor.Msg, workers)}
+}
+
+func (q *iokQueue) push(m actor.Msg) { q.central = append(q.central, m) }
+
+// pop serves a worker core from its own queue only.
+func (q *iokQueue) pop(coreID int) (actor.Msg, bool) {
+	if coreID >= len(q.perCore) {
+		return actor.Msg{}, false // the dispatcher core never executes
+	}
+	if buf := q.perCore[coreID]; len(buf) > 0 {
+		m := buf[0]
+		q.perCore[coreID] = buf[1:]
+		return m, true
+	}
+	return actor.Msg{}, false
+}
+
+// dispatchOne moves one message from the central buffer to the least
+// loaded worker queue (round-robin with shortest-queue preference).
+func (q *iokQueue) dispatchOne() (int, bool) {
+	if len(q.central) == 0 {
+		return 0, false
+	}
+	m := q.central[0]
+	q.central = q.central[1:]
+	best := q.rr % len(q.perCore)
+	for i := range q.perCore {
+		if len(q.perCore[i]) < len(q.perCore[best]) {
+			best = i
+		}
+	}
+	q.rr++
+	q.perCore[best] = append(q.perCore[best], m)
+	q.Dispatched++
+	return best, true
+}
+
+func (q *iokQueue) len() int {
+	n := len(q.central)
+	for _, buf := range q.perCore {
+		n += len(buf)
+	}
+	return n
+}

@@ -1,0 +1,697 @@
+// Package sched implements iPipe's NIC-side actor scheduler (§3.2), the
+// central contribution of the paper: a hybrid discipline that runs
+// low-dispersion actors to completion under FCFS off a shared queue and
+// delegates high-dispersion actors to DRR (deficit round robin) cores —
+// an efficient non-preemptive approximation of processor sharing — while
+// migrating actors to the host when the SmartNIC cannot keep up.
+//
+// The concrete algorithms follow ALG 1 (FCFS cores) and ALG 2 (DRR
+// cores) in the paper's appendix:
+//
+//   - All cores start in FCFS mode, pulling requests from the shared
+//     incoming queue (hardware traffic manager on on-path NICs, software
+//     shuffle layer with work stealing on off-path ones, §3.2.6).
+//   - When the FCFS group's tail latency (µ+3σ EWMA) exceeds
+//     TailThresh, the actor with the highest dispersion is downgraded to
+//     the DRR runnable queue, spawning a DRR core if needed.
+//   - DRR cores scan runnable actors round-robin; an actor executes one
+//     mailbox request when its deficit counter exceeds its estimated
+//     latency. The quantum is the maximum tolerated forwarding latency
+//     for the actor's average request size (the compute headroom of
+//     §2.2.2).
+//   - When the FCFS tail drops below (1−α)·TailThresh, the
+//     lowest-dispersion DRR actor is upgraded back to FCFS.
+//   - When FCFS mean latency exceeds MeanThresh, the management core
+//     (core 0) pushes the highest-load actor to the host; when it falls
+//     below (1−α)·MeanThresh with CPU headroom, it pulls the
+//     least-load host actor back. A DRR actor whose mailbox exceeds
+//     QThresh is pushed to the host directly.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/actor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// monitorPeriod is how often the management core samples utilization
+// and evaluates migration/autoscaling conditions.
+const monitorPeriod = 100 * sim.Microsecond
+
+// Mode is a core's scheduling mode.
+type Mode uint8
+
+// Core modes.
+const (
+	FCFS Mode = iota
+	DRR
+	// Dispatch marks the IOKernel dispatcher core (§3.2.6).
+	Dispatch
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case FCFS:
+		return "FCFS"
+	case DRR:
+		return "DRR"
+	default:
+		return "Dispatch"
+	}
+}
+
+// Hooks connects the scheduler to the surrounding runtime. All fields
+// are required unless noted.
+type Hooks struct {
+	// Run executes an actor handler for one message and returns the
+	// NIC-core service time (handler cost scaled to this NIC, plus any
+	// costs the handler incurred through its context: sends, DMA,
+	// accelerators). The forwarding tax is charged by the scheduler.
+	Run func(a *actor.Actor, m actor.Msg) sim.Time
+	// FwdTax is the per-packet dispatch cost on a core (spec.FwdTax).
+	FwdTax func(bytes int) sim.Time
+	// Forward delivers a message that no NIC actor owns (host-bound
+	// traffic). The scheduler has already charged the forwarding tax.
+	Forward func(m actor.Msg)
+	// Quantum returns the DRR quantum for an actor: the max tolerated
+	// forwarding latency at the actor's average request size.
+	Quantum func(avgReqBytes int) sim.Time
+	// PushToHost migrates an actor off the NIC (4-phase protocol in the
+	// runtime); optional — nil disables migration.
+	PushToHost func(a *actor.Actor)
+	// PullFromHost asks the runtime to bring the least-loaded host actor
+	// back; it reports whether a pull was initiated. Optional.
+	PullFromHost func() bool
+}
+
+// Config carries the scheduler thresholds (§3.2.3: set from the NIC's
+// own MTU line-rate characterization) and structural parameters.
+type Config struct {
+	Cores int
+	// TailThresh/MeanThresh are sojourn-time thresholds in microseconds.
+	TailThresh float64
+	MeanThresh float64
+	// Alpha is the hysteresis factor α.
+	Alpha float64
+	// QThresh is the DRR mailbox length that triggers direct migration.
+	QThresh int
+	// Shuffle selects the software shuffle layer (off-path NICs without
+	// a hardware traffic manager) instead of the shared queue.
+	Shuffle bool
+	// IOKernel selects §3.2.6's other software alternative: a dedicated
+	// dispatcher core (Shenango-IOKernel style) feeding per-worker
+	// queues. It takes precedence over Shuffle and costs one core.
+	IOKernel bool
+	// DispatcherCost is the IOKernel per-message routing cost.
+	DispatcherCost sim.Time
+	// AllDRR places every actor in the DRR runnable queue at
+	// registration and keeps it there — the standalone DRR discipline
+	// the paper compares against in §5.4. (The standalone FCFS
+	// comparator is TailThresh = 0, which never downgrades.)
+	AllDRR bool
+	// ScanCost is the DRR per-actor visit cost (pointer chase + deficit
+	// update); a small constant keeps virtual time advancing.
+	ScanCost sim.Time
+	// DispatchCost is the FCFS cost to push a DRR actor's message into
+	// its mailbox.
+	DispatchCost sim.Time
+	// ExtraDispatch is charged on every FCFS execution in addition to
+	// the forwarding tax; it models heavier per-message runtimes (the
+	// Floem comparator's logical-queue multiplexing, §5.6).
+	ExtraDispatch sim.Time
+	// StatsAlpha is the EWMA smoothing for group latency statistics.
+	StatsAlpha float64
+	// MigrationCooldown is the minimum spacing between migrations. A
+	// migration stalls the moving actor for up to tens of milliseconds
+	// (Figure 18), and right after one the FCFS statistics reflect only
+	// cheap forwarding work, so deciding again immediately thrashes.
+	MigrationCooldown sim.Time
+}
+
+// DefaultConfig returns reasonable structural defaults; thresholds must
+// still be set per NIC.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:             cores,
+		Alpha:             0.2,
+		QThresh:           64,
+		ScanCost:          50 * sim.Nanosecond,
+		DispatchCost:      100 * sim.Nanosecond,
+		StatsAlpha:        0.02,
+		MigrationCooldown: 5 * sim.Millisecond,
+	}
+}
+
+// Scheduler is the NIC-side scheduler instance.
+type Scheduler struct {
+	eng   *sim.Engine
+	cfg   Config
+	hooks Hooks
+
+	cores []*core
+	queue inQueue // shared FCFS ingress (hardware or shuffle)
+
+	// actors maps NIC-resident actors by ID.
+	actors map[actor.ID]*actor.Actor
+	// drrRunnable is the single runnable queue all DRR cores share.
+	drrRunnable []*actor.Actor
+
+	// fcfsStats tracks sojourn times (queueing + execution) of FCFS
+	// operations; its Tail()/Mean() drive downgrade and migration.
+	fcfsStats stats.EWMA
+
+	// Counters for experiments.
+	Completed         uint64
+	Forwarded         uint64
+	Downgrades        uint64
+	Upgrades          uint64
+	PushMigrations    uint64
+	PullMigrations    uint64
+	CoreMoves         uint64
+	migrationInFlight bool
+	lastMigration     sim.Time
+	lastMonitor       sim.Time
+}
+
+// New creates a scheduler with the given configuration and hooks.
+func New(eng *sim.Engine, cfg Config, hooks Hooks) *Scheduler {
+	if cfg.Cores <= 0 {
+		panic("sched: need at least one core")
+	}
+	if hooks.Run == nil || hooks.FwdTax == nil {
+		panic("sched: Run and FwdTax hooks are required")
+	}
+	if cfg.StatsAlpha == 0 {
+		cfg.StatsAlpha = 0.02
+	}
+	s := &Scheduler{
+		eng:    eng,
+		cfg:    cfg,
+		hooks:  hooks,
+		actors: map[actor.ID]*actor.Actor{},
+	}
+	s.fcfsStats.Alpha = cfg.StatsAlpha
+	switch {
+	case cfg.IOKernel:
+		if cfg.Cores < 2 {
+			panic("sched: IOKernel mode needs at least two cores")
+		}
+		if s.cfg.DispatcherCost == 0 {
+			s.cfg.DispatcherCost = 250 * sim.Nanosecond
+		}
+		s.queue = newIOKQueue(cfg.Cores - 1)
+	case cfg.Shuffle:
+		s.queue = newShuffleQueue(cfg.Cores)
+	default:
+		s.queue = newSharedQueue()
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := newCore(s, i)
+		if cfg.IOKernel && i == cfg.Cores-1 {
+			c.mode = Dispatch
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// maybeMonitor runs the management core's periodic duties — sample
+// per-core utilization over the last window, balance cores between the
+// FCFS and DRR groups, evaluate the migration conditions — at most once
+// per monitorPeriod. It is invoked from core completion paths, so it is
+// activity-driven: an idle scheduler makes no decisions and leaves the
+// event loop free to drain.
+func (s *Scheduler) maybeMonitor() {
+	now := s.eng.Now()
+	if now-s.lastMonitor < monitorPeriod {
+		return
+	}
+	window := now - s.lastMonitor
+	s.lastMonitor = now
+	for _, c := range s.cores {
+		c.settle()
+		c.winU = float64(c.busyAccum-c.winPrev) / float64(window)
+		if c.winU > 1 {
+			c.winU = 1
+		}
+		c.winPrev = c.busyAccum
+	}
+	s.autoscale()
+	s.maybeUpgrade()
+	s.maybeMigrate()
+}
+
+// maybeUpgrade returns DRR actors whose service dispersion is no longer
+// an outlier to FCFS — the periodic counterpart of ALG 2's tail-based
+// upgrade, which alone can starve a misclassified actor when the group
+// tail never recovers below (1−α)·TailThresh.
+func (s *Scheduler) maybeUpgrade() {
+	if s.cfg.AllDRR || len(s.drrRunnable) == 0 {
+		return
+	}
+	tails := make([]float64, 0, len(s.actors))
+	for _, a := range s.actors {
+		if a.State == actor.Stable && a.ServiceStats.Count() > 0 {
+			tails = append(tails, a.ServiceStats.Tail())
+		}
+	}
+	if len(tails) == 0 {
+		return
+	}
+	sort.Float64s(tails)
+	median := tails[(len(tails)-1)/2]
+	for _, a := range s.drrRunnable {
+		if a.State != actor.Stable {
+			continue
+		}
+		if a.ServiceStats.Tail() <= 1.25*median {
+			s.drrDequeue(a)
+			a.InDRR = false
+			s.Upgrades++
+			for _, m := range a.Mailbox.Drain() {
+				s.queue.push(m)
+			}
+			s.wakeFCFS()
+			if len(s.drrRunnable) == 0 {
+				s.collapseDRRCores()
+			}
+			return // at most one per tick
+		}
+	}
+}
+
+// AddActor registers a NIC-resident actor with the dispatcher.
+func (s *Scheduler) AddActor(a *actor.Actor) {
+	s.actors[a.ID] = a
+	a.State = actor.Stable
+	if s.cfg.AllDRR && !a.InDRR {
+		a.InDRR = true
+		a.Deficit = 0
+		s.drrRunnable = append(s.drrRunnable, a)
+		s.ensureDRRCore()
+	}
+}
+
+// RemoveActor deregisters an actor (migration or DoS kill). Its mailbox
+// is left to the caller (migration forwards it; the watchdog drops it).
+func (s *Scheduler) RemoveActor(id actor.ID) {
+	a, ok := s.actors[id]
+	if !ok {
+		return
+	}
+	delete(s.actors, id)
+	if a.InDRR {
+		s.drrDequeue(a)
+		a.InDRR = false
+	}
+}
+
+// Actor returns a NIC-resident actor by ID.
+func (s *Scheduler) Actor(id actor.ID) (*actor.Actor, bool) {
+	a, ok := s.actors[id]
+	return a, ok
+}
+
+// Actors returns the number of NIC-resident actors.
+func (s *Scheduler) Actors() int { return len(s.actors) }
+
+// Arrive injects an incoming request (from the wire or from the host
+// rings) into the ingress queue and wakes an FCFS core.
+func (s *Scheduler) Arrive(m actor.Msg) {
+	m.ArrivedAt = s.eng.Now()
+	s.queue.push(m)
+	s.wakeFCFS()
+	// If the target actor sits in DRR, a DRR core may also be able to
+	// make progress once the FCFS side moves the message to the mailbox;
+	// nothing to do here.
+}
+
+// EnqueueMailbox places a message directly into a DRR actor's mailbox
+// (used by the runtime when forwarding host→NIC actor messages).
+func (s *Scheduler) EnqueueMailbox(a *actor.Actor, m actor.Msg) {
+	m.ArrivedAt = s.eng.Now()
+	a.Mailbox.Push(m)
+	s.wakeDRR()
+}
+
+// FCFSTail returns the FCFS group's current µ+3σ sojourn estimate (µs).
+func (s *Scheduler) FCFSTail() float64 { return s.fcfsStats.Tail() }
+
+// FCFSMean returns the FCFS group's mean sojourn estimate (µs).
+func (s *Scheduler) FCFSMean() float64 { return s.fcfsStats.Mean() }
+
+// CoreModes returns the number of cores in the FCFS and DRR groups
+// (an IOKernel dispatcher core belongs to neither).
+func (s *Scheduler) CoreModes() (fcfs, drr int) {
+	for _, c := range s.cores {
+		switch c.mode {
+		case FCFS:
+			fcfs++
+		case DRR:
+			drr++
+		}
+	}
+	return
+}
+
+// Utilization returns mean busy fraction per group since start.
+func (s *Scheduler) Utilization() (fcfs, drr float64) {
+	var fb, db sim.Time
+	var fn, dn int
+	for _, c := range s.cores {
+		c.settle()
+		if c.mode == FCFS {
+			fb += c.busyAccum
+			fn++
+		} else {
+			db += c.busyAccum
+			dn++
+		}
+	}
+	now := s.eng.Now()
+	if now == 0 {
+		return 0, 0
+	}
+	if fn > 0 {
+		fcfs = float64(fb) / float64(int64(now)*int64(fn))
+	}
+	if dn > 0 {
+		drr = float64(db) / float64(int64(now)*int64(dn))
+	}
+	return
+}
+
+// QueueBacklog reports messages waiting in the ingress queue.
+func (s *Scheduler) QueueBacklog() int { return s.queue.len() }
+
+// DRRBacklog reports total mailbox backlog across DRR actors.
+func (s *Scheduler) DRRBacklog() int {
+	n := 0
+	for _, a := range s.drrRunnable {
+		n += a.Mailbox.Len()
+	}
+	return n
+}
+
+func (s *Scheduler) wakeFCFS() {
+	if s.cfg.IOKernel {
+		// Arrivals land in the central buffer: wake the dispatcher; it
+		// wakes workers as it routes.
+		s.cores[len(s.cores)-1].kick()
+	}
+	for _, c := range s.cores {
+		if c.mode == FCFS && c.idle {
+			c.kick()
+			return
+		}
+	}
+}
+
+func (s *Scheduler) wakeDRR() {
+	for _, c := range s.cores {
+		if c.mode == DRR && c.idle {
+			c.kick()
+			return
+		}
+	}
+}
+
+// downgrade moves the highest-dispersion FCFS actor into the DRR
+// runnable queue (ALG 1 lines 13–16). Dispersion here is the µ+3σ of
+// the actor's *service* time: the scheduler isolates actors whose
+// execution costs are variable or heavy, which is what disrupts FCFS.
+// The victim must stand out — its dispersion must clearly exceed the
+// median actor's — otherwise downgrading cannot help (a homogeneous
+// population under load breaches the tail threshold through queueing,
+// and evicting arbitrary actors would only thrash).
+func (s *Scheduler) downgrade() {
+	var victim *actor.Actor
+	tails := make([]float64, 0, len(s.actors))
+	// Require a few samples before classifying; rare-but-heavy actors
+	// must stay eligible, so the bar is low.
+	const minSamples = 4
+	for _, a := range s.actors {
+		if a.State != actor.Stable || a.ServiceStats.Count() < minSamples {
+			continue
+		}
+		tails = append(tails, a.ServiceStats.Tail())
+		if a.InDRR {
+			continue
+		}
+		if victim == nil || a.ServiceStats.Tail() > victim.ServiceStats.Tail() {
+			victim = a
+		}
+	}
+	if victim == nil || len(tails) == 0 {
+		return
+	}
+	sort.Float64s(tails)
+	median := tails[(len(tails)-1)/2]
+	if victim.ServiceStats.Tail() <= 2*median {
+		return
+	}
+	victim.InDRR = true
+	victim.Deficit = 0
+	s.drrRunnable = append(s.drrRunnable, victim)
+	s.Downgrades++
+	s.ensureDRRCore()
+}
+
+// upgrade returns the lowest-dispersion DRR actor to FCFS (ALG 2 lines
+// 10–12), with the symmetric guard to downgrade(): an actor whose
+// service dispersion still stands out against the population stays in
+// DRR even when the FCFS tail has recovered — precisely because it
+// recovered by isolating that actor.
+func (s *Scheduler) upgrade() {
+	if len(s.drrRunnable) == 0 {
+		return
+	}
+	tails := make([]float64, 0, len(s.actors))
+	for _, a := range s.actors {
+		if a.State == actor.Stable && a.ServiceStats.Count() > 0 {
+			tails = append(tails, a.ServiceStats.Tail())
+		}
+	}
+	if len(tails) == 0 {
+		return
+	}
+	sort.Float64s(tails)
+	median := tails[(len(tails)-1)/2]
+	best := -1
+	for i, a := range s.drrRunnable {
+		if a.State != actor.Stable {
+			continue
+		}
+		if best == -1 || a.ServiceStats.Tail() < s.drrRunnable[best].ServiceStats.Tail() {
+			best = i
+		}
+	}
+	if best == -1 {
+		return
+	}
+	a := s.drrRunnable[best]
+	if a.ServiceStats.Tail() > 1.5*median {
+		return
+	}
+	s.drrDequeue(a)
+	a.InDRR = false
+	s.Upgrades++
+	// Drain its mailbox back through the shared queue so FCFS cores
+	// serve the backlog.
+	for _, m := range a.Mailbox.Drain() {
+		s.queue.push(m)
+	}
+	s.wakeFCFS()
+	if len(s.drrRunnable) == 0 {
+		s.collapseDRRCores()
+	}
+}
+
+func (s *Scheduler) drrDequeue(a *actor.Actor) {
+	for i, x := range s.drrRunnable {
+		if x == a {
+			s.drrRunnable = append(s.drrRunnable[:i], s.drrRunnable[i+1:]...)
+			return
+		}
+	}
+}
+
+// ensureDRRCore spawns a DRR core when an actor enters DRR and none
+// exists (§3.2.4: "When an actor is pushed into the DRR runnable queue,
+// the scheduler spawns a core for DRR execution").
+func (s *Scheduler) ensureDRRCore() {
+	for _, c := range s.cores {
+		if c.mode == DRR {
+			s.wakeDRR()
+			return
+		}
+	}
+	// Convert the last FCFS core (never core 0, the management core,
+	// nor an IOKernel dispatcher).
+	for i := len(s.cores) - 1; i > 0; i-- {
+		if s.cores[i].mode == FCFS {
+			s.cores[i].setMode(DRR)
+			s.CoreMoves++
+			s.wakeDRR()
+			return
+		}
+	}
+}
+
+// collapseDRRCores returns all DRR cores to FCFS once the runnable queue
+// is empty.
+func (s *Scheduler) collapseDRRCores() {
+	for _, c := range s.cores {
+		if c.mode == DRR {
+			c.setMode(FCFS)
+			s.CoreMoves++
+		}
+	}
+	s.wakeFCFS()
+}
+
+// autoscale implements §3.2.4's core balancing between the groups,
+// with two refinements over the raw utilization rule:
+//
+//   - the DRR group is capped at the parallelism its runnable actors
+//     can actually exploit (an exclusive actor occupies at most one
+//     core; surplus DRR cores only spin the scan loop, which reads as
+//     saturation while starving FCFS);
+//   - the FCFS group has reclaim priority: conveying traffic is the
+//     on-path NIC's basic duty (§3.2.1), so a saturated FCFS group
+//     takes a core back from DRR regardless of DRR's utilization.
+func (s *Scheduler) autoscale() {
+	fcfsN, drrN := s.CoreModes()
+	if drrN == 0 || fcfsN <= 1 {
+		return
+	}
+	maxDRR := 0
+	for _, a := range s.drrRunnable {
+		if a.Exclusive {
+			maxDRR++
+		} else {
+			maxDRR += s.cfg.Cores
+		}
+	}
+	if maxDRR < 1 {
+		maxDRR = 1
+	}
+	if maxDRR > s.cfg.Cores-1 {
+		maxDRR = s.cfg.Cores - 1
+	}
+	fcfsU, drrU := s.groupWindowUtil()
+	// Move a core FCFS→DRR when DRR is saturated and FCFS can spare one.
+	if drrN < maxDRR && drrU >= 0.95 && fcfsU < float64(fcfsN-1)/float64(fcfsN) {
+		for i := len(s.cores) - 1; i > 0; i-- {
+			if s.cores[i].mode == FCFS {
+				s.cores[i].setMode(DRR)
+				s.CoreMoves++
+				s.wakeDRR()
+				return
+			}
+		}
+	}
+	// And back: DRR over-provisioned or underused, or FCFS saturated
+	// (forwarding priority; suspended under AllDRR where FCFS cores
+	// only dispatch).
+	reclaim := drrN > maxDRR ||
+		(fcfsU >= 0.95 && drrU < float64(drrN-1)/float64(drrN)) ||
+		(!s.cfg.AllDRR && fcfsU >= 0.95)
+	if drrN > 1 && reclaim {
+		for i := len(s.cores) - 1; i > 0; i-- {
+			if s.cores[i].mode == DRR {
+				s.cores[i].setMode(FCFS)
+				s.CoreMoves++
+				s.wakeFCFS()
+				return
+			}
+		}
+	}
+}
+
+// groupWindowUtil returns last-window utilization per group.
+func (s *Scheduler) groupWindowUtil() (fcfs, drr float64) {
+	var fsum, dsum float64
+	var fn, dn int
+	for _, c := range s.cores {
+		switch c.mode {
+		case FCFS:
+			fsum += c.winU
+			fn++
+		case DRR:
+			dsum += c.winU
+			dn++
+		}
+	}
+	if fn > 0 {
+		fcfs = fsum / float64(fn)
+	}
+	if dn > 0 {
+		drr = dsum / float64(dn)
+	}
+	return
+}
+
+// maybeMigrate runs the management-core checks (ALG 1 lines 17–23).
+func (s *Scheduler) maybeMigrate() {
+	if s.migrationInFlight {
+		return
+	}
+	if s.lastMigration != 0 && s.eng.Now()-s.lastMigration < s.cfg.MigrationCooldown {
+		return
+	}
+	if s.hooks.PushToHost != nil && s.cfg.MeanThresh > 0 && s.fcfsStats.Mean() > s.cfg.MeanThresh {
+		if a := s.highestLoadActor(); a != nil {
+			s.migrationInFlight = true
+			s.lastMigration = s.eng.Now()
+			s.PushMigrations++
+			a.State = actor.Prepare
+			s.hooks.PushToHost(a)
+			return
+		}
+	}
+	if s.hooks.PullFromHost != nil && s.cfg.MeanThresh > 0 &&
+		s.fcfsStats.Mean() < (1-s.cfg.Alpha)*s.cfg.MeanThresh {
+		fcfsU, _ := s.groupWindowUtil()
+		if fcfsU < 0.8 { // sufficient CPU headroom
+			s.migrationInFlight = true
+			if s.hooks.PullFromHost() {
+				s.lastMigration = s.eng.Now()
+				s.PullMigrations++
+			} else {
+				s.migrationInFlight = false
+			}
+		}
+	}
+}
+
+// MigrationDone releases the single-migration latch (called by the
+// runtime when the 4-phase protocol finishes).
+func (s *Scheduler) MigrationDone() { s.migrationInFlight = false }
+
+func (s *Scheduler) highestLoadActor() *actor.Actor {
+	var best *actor.Actor
+	for _, a := range s.actors {
+		if a.State != actor.Stable || a.PinNIC {
+			continue
+		}
+		if a.ExecStats.Count() == 0 {
+			continue
+		}
+		if best == nil || a.Load() > best.Load() {
+			best = a
+		}
+	}
+	return best
+}
+
+// String summarizes scheduler state for debugging.
+func (s *Scheduler) String() string {
+	f, d := s.CoreModes()
+	return fmt.Sprintf("sched{fcfs=%d drr=%d actors=%d runnable=%d backlog=%d}",
+		f, d, len(s.actors), len(s.drrRunnable), s.queue.len())
+}

@@ -1,0 +1,212 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All iPipe substrates (NIC cores, PCIe DMA engines, network links, host
+// cores) run on top of a single Engine. Time is virtual: an Event fires at
+// an absolute Time, and the engine executes events in (time, sequence)
+// order, so runs are fully reproducible for a fixed seed and schedule.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration's resolution so model
+// parameters written as time.Duration convert losslessly.
+type Time int64
+
+// Common conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a virtual time span to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time as a duration for readability.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a real duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Micros builds a virtual time from floating-point microseconds.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead || t.e.idx == -1 && t.e.fn == nil {
+		return false
+	}
+	fired := t.e.fn == nil
+	t.e.dead = true
+	return !fired && !t.expired()
+}
+
+func (t *Timer) expired() bool { return t.e.fn == nil }
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+	ran    uint64 // events executed
+}
+
+// NewEngine returns an engine at time zero with a deterministic PRNG
+// seeded by seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed reports the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.ran }
+
+// Pending reports the number of scheduled (not yet fired) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{e: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Defer schedules fn to run at the current instant, after all callbacks
+// already queued for this instant. It is the simulation analogue of
+// yielding to the scheduler.
+func (e *Engine) Defer(fn func()) *Timer { return e.At(e.now, fn) }
+
+// Step executes the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.ran++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock
+// to deadline. Events scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		if e.events[0].dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

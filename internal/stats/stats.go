@@ -1,0 +1,190 @@
+// Package stats provides the streaming statistics the iPipe runtime keeps
+// while scheduling: exponentially weighted moving averages of request
+// latency and its standard deviation (used to approximate the tail as
+// µ+3σ, §3.2.3 of the paper), exact percentile sets for offline
+// experiment reporting, and windowed rate meters.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// EWMA tracks an exponentially weighted moving average of a value and of
+// its squared deviation, giving a cheap running estimate of mean and
+// standard deviation. Alpha is the weight of a new observation.
+type EWMA struct {
+	Alpha float64
+	mean  float64
+	vari  float64
+	n     uint64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Observe folds a new sample into the average.
+func (e *EWMA) Observe(x float64) {
+	e.n++
+	if e.n == 1 {
+		e.mean = x
+		e.vari = 0
+		return
+	}
+	d := x - e.mean
+	// Standard EWMA mean/variance recurrences.
+	e.mean += e.Alpha * d
+	e.vari = (1 - e.Alpha) * (e.vari + e.Alpha*d*d)
+}
+
+// Mean returns the current estimate of the mean (0 before any samples).
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// Std returns the current estimate of the standard deviation.
+func (e *EWMA) Std() float64 { return math.Sqrt(e.vari) }
+
+// Tail returns µ+3σ, the paper's running approximation of P99.
+func (e *EWMA) Tail() float64 { return e.mean + 3*e.Std() }
+
+// Count returns the number of samples observed.
+func (e *EWMA) Count() uint64 { return e.n }
+
+// Reset clears all state, keeping Alpha.
+func (e *EWMA) Reset() { e.mean, e.vari, e.n = 0, 0, 0 }
+
+// Welford computes exact running mean and variance (Welford's algorithm).
+// It is used by the experiment harness where exactness matters more than
+// forgetting old samples.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe folds in a sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the exact mean (0 before any samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 before any samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 before any samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// Sample collects individual values for exact percentile reporting. The
+// experiment harness uses it for P50/P99 latency series; runs are bounded
+// so unbounded growth is acceptable, but Cap provides an optional limit
+// with uniform reservoir sampling beyond it.
+type Sample struct {
+	// Cap bounds memory; 0 means unlimited.
+	Cap    int
+	values []float64
+	seen   uint64
+	sorted bool
+	// rnd is the reservoir-sampling source; injected so the simulation
+	// stays deterministic.
+	rnd func(n uint64) uint64
+}
+
+// NewSample returns an unbounded sample collector.
+func NewSample() *Sample { return &Sample{} }
+
+// NewReservoir returns a bounded collector keeping a uniform sample of at
+// most capn values; rnd(n) must return a uniform value in [0, n).
+func NewReservoir(capn int, rnd func(n uint64) uint64) *Sample {
+	return &Sample{Cap: capn, rnd: rnd}
+}
+
+// Observe records a value.
+func (s *Sample) Observe(x float64) {
+	s.seen++
+	s.sorted = false
+	if s.Cap <= 0 || len(s.values) < s.Cap {
+		s.values = append(s.values, x)
+		return
+	}
+	// Reservoir replacement.
+	j := s.rnd(s.seen)
+	if j < uint64(s.Cap) {
+		s.values[j] = x
+	}
+}
+
+// Count returns the number of values observed (not necessarily retained).
+func (s *Sample) Count() uint64 { return s.seen }
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank
+// on the retained values; 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.values))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.values[rank-1]
+}
+
+// Mean returns the mean of retained values.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Reset discards all values.
+func (s *Sample) Reset() { s.values = s.values[:0]; s.seen = 0; s.sorted = false }

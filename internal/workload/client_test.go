@@ -1,0 +1,120 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func echoCluster(t *testing.T, seed uint64, cost sim.Time) (*core.Cluster, *workload.Client) {
+	t.Helper()
+	cl := core.NewCluster(seed)
+	n := cl.AddNode(core.Config{Name: "srv", NIC: spec.LiquidIOII_CN2350()})
+	if err := n.Register(&actor.Actor{
+		ID: 1,
+		OnMessage: func(ctx actor.Ctx, m actor.Msg) sim.Time {
+			ctx.Reply(m)
+			return cost
+		},
+	}, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	return cl, workload.NewClient(cl, "cli", 10)
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	cl, client := echoCluster(t, 1, sim.Microsecond)
+	const rate = 100000.0
+	window := 20 * sim.Millisecond
+	client.OpenLoop(rate, window, func(i uint64) workload.Request {
+		return workload.Request{Node: "srv", Dst: 1, Size: 256, FlowID: i}
+	})
+	cl.Eng.Run()
+	want := rate * window.Seconds()
+	got := float64(client.Sent)
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("open loop sent %.0f, want ≈%.0f", got, want)
+	}
+	if client.Received != client.Sent {
+		t.Fatalf("responses %d of %d", client.Received, client.Sent)
+	}
+}
+
+func TestOpenLoopZeroRateNoop(t *testing.T) {
+	cl, client := echoCluster(t, 2, sim.Microsecond)
+	client.OpenLoop(0, 10*sim.Millisecond, func(i uint64) workload.Request {
+		return workload.Request{Node: "srv", Dst: 1}
+	})
+	cl.Eng.Run()
+	if client.Sent != 0 {
+		t.Fatal("zero-rate open loop sent requests")
+	}
+}
+
+func TestClosedLoopKeepsDepthOutstanding(t *testing.T) {
+	cl, client := echoCluster(t, 3, 10*sim.Microsecond)
+	const depth = 4
+	maxInFlight := uint64(0)
+	client.ClosedLoop(depth, 5*sim.Millisecond, func(i uint64) workload.Request {
+		return workload.Request{Node: "srv", Dst: 1, Size: 256, FlowID: i}
+	})
+	for at := sim.Time(0); at < 5*sim.Millisecond; at += 100 * sim.Microsecond {
+		cl.Eng.At(at, func() {
+			if f := client.Sent - client.Received; f > maxInFlight {
+				maxInFlight = f
+			}
+		})
+	}
+	cl.Eng.Run()
+	if maxInFlight > depth {
+		t.Fatalf("in-flight %d exceeded depth %d", maxInFlight, depth)
+	}
+	if client.Received != client.Sent {
+		t.Fatalf("responses %d of %d", client.Received, client.Sent)
+	}
+	// Closed loop should keep the pipe ~full: RTT ≈ 15µs, so expect
+	// roughly depth×window/RTT completions; demand at least half that.
+	if client.Received < 600 {
+		t.Fatalf("closed loop only completed %d requests", client.Received)
+	}
+}
+
+func TestRetryCountsOnce(t *testing.T) {
+	// Without loss, retries should never fire and each response counts
+	// exactly once even with aggressive timeouts (slightly above RTT so
+	// a race between response and timer is resolved by the done-latch).
+	cl, client := echoCluster(t, 4, 2*sim.Microsecond)
+	for i := 0; i < 50; i++ {
+		i := i
+		cl.Eng.At(sim.Time(i)*50*sim.Microsecond, func() {
+			client.Send(workload.Request{
+				Node: "srv", Dst: 1, Size: 256, FlowID: uint64(i),
+				Timeout: 30 * sim.Microsecond, Retries: 3,
+			})
+		})
+	}
+	cl.Eng.Run()
+	if client.Received != 50 {
+		t.Fatalf("received %d, want exactly 50 (no double-count)", client.Received)
+	}
+}
+
+func TestRetryFiresUnderTotalLoss(t *testing.T) {
+	cl, client := echoCluster(t, 5, sim.Microsecond)
+	cl.Net.LossRate = 1.0 // nothing gets through
+	client.Send(workload.Request{
+		Node: "srv", Dst: 1, Size: 128,
+		Timeout: 50 * sim.Microsecond, Retries: 4,
+	})
+	cl.Eng.Run()
+	if client.Retried != 4 {
+		t.Fatalf("retried %d times, want all 4", client.Retried)
+	}
+	if client.Received != 0 {
+		t.Fatal("received a response through a fully lossy network")
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload provides the load generators of the evaluation: a
+// pktgen-style client that attaches to the simulated network and issues
+// requests to actors in open loop (Poisson arrivals, as in §5.4) or
+// closed loop (as the DPDK workload generator of §5.1), plus the key
+// and service-time distributions the paper uses: Zipfian keys with skew
+// 0.99 over 1M keys, exponential (low dispersion) and bimodal-2 (high
+// dispersion) execution-cost distributions.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Client is a load generator attached to the cluster's network.
+type Client struct {
+	Name string
+	eng  *sim.Engine
+	net  *netsim.Network
+
+	// Lat collects end-to-end response latencies in microseconds.
+	Lat *stats.Sample
+	// Sent/Received count requests and responses; Retried counts
+	// timeout-driven re-sends.
+	Sent     uint64
+	Received uint64
+	Retried  uint64
+}
+
+// NewClient attaches a client node with the given link speed.
+func NewClient(c *core.Cluster, name string, gbps float64) *Client {
+	cl := &Client{Name: name, eng: c.Eng, net: c.Net, Lat: stats.NewSample()}
+	c.Net.Attach(name, gbps, netsim.HandlerFunc(cl.deliver))
+	return cl
+}
+
+func (cl *Client) deliver(pkt *netsim.Packet) {
+	if env, ok := pkt.Payload.(core.RespEnvelope); ok {
+		env.Fn(env.Msg)
+	}
+}
+
+// Request describes one client request.
+type Request struct {
+	Node string   // destination server node
+	Dst  actor.ID // destination actor
+	Kind actor.Kind
+	Data []byte
+	// Size is the request packet size on the wire (the paper's "packet
+	// size"); defaults to max(64, len(Data)+48).
+	Size   int
+	FlowID uint64
+	// OnResp, if set, observes the application response.
+	OnResp func(resp actor.Msg)
+	// Timeout re-sends the request if no response arrives in time
+	// (0 disables). Retries bounds re-sends; the response callback and
+	// latency sample fire once, for whichever attempt lands first.
+	Timeout sim.Time
+	Retries int
+}
+
+// Send issues one request now. The response latency is recorded in Lat
+// when the reply lands. With Timeout set, lost requests are re-sent up
+// to Retries times; duplicate responses (a late original racing a
+// retry) are counted once.
+func (cl *Client) Send(r Request) {
+	size := r.Size
+	if size == 0 {
+		size = len(r.Data) + 48
+	}
+	if size < 64 {
+		size = 64
+	}
+	cl.Sent++
+	sentAt := cl.eng.Now()
+	done := false
+	attempt := 0
+	var fire func()
+	reply := func(resp actor.Msg) {
+		if done {
+			return // duplicate response after a retry
+		}
+		done = true
+		cl.Received++
+		cl.Lat.Observe((cl.eng.Now() - sentAt).Micros())
+		if r.OnResp != nil {
+			r.OnResp(resp)
+		}
+	}
+	fire = func() {
+		m := actor.Msg{
+			Kind:   r.Kind,
+			Dst:    r.Dst,
+			Data:   r.Data,
+			FlowID: r.FlowID,
+			Origin: cl.Name,
+			Reply:  reply,
+		}
+		cl.net.Send(&netsim.Packet{
+			Src: cl.Name, Dst: r.Node, Size: size,
+			FlowID:  r.FlowID,
+			Payload: m,
+		})
+		if r.Timeout > 0 && attempt < r.Retries {
+			attempt++
+			cl.eng.After(r.Timeout, func() {
+				if !done {
+					cl.Retried++
+					fire()
+				}
+			})
+		}
+	}
+	fire()
+}
+
+// OpenLoop drives requests with Poisson interarrivals at the given rate
+// (requests/sec) for the duration, calling gen for each request.
+func (cl *Client) OpenLoop(rate float64, dur sim.Time, gen func(i uint64) Request) {
+	if rate <= 0 {
+		return
+	}
+	var i uint64
+	var tick func()
+	deadline := cl.eng.Now() + dur
+	tick = func() {
+		if cl.eng.Now() >= deadline {
+			return
+		}
+		cl.Send(gen(i))
+		i++
+		gap := sim.Time(cl.eng.Rand().Exp(1e9 / rate))
+		if gap < 1 {
+			gap = 1
+		}
+		cl.eng.After(gap, tick)
+	}
+	cl.eng.Defer(tick)
+}
+
+// ClosedLoop keeps `depth` requests outstanding until the deadline.
+func (cl *Client) ClosedLoop(depth int, dur sim.Time, gen func(i uint64) Request) {
+	deadline := cl.eng.Now() + dur
+	var i uint64
+	var issue func()
+	issue = func() {
+		if cl.eng.Now() >= deadline {
+			return
+		}
+		r := gen(i)
+		i++
+		prev := r.OnResp
+		r.OnResp = func(resp actor.Msg) {
+			if prev != nil {
+				prev(resp)
+			}
+			issue()
+		}
+		cl.Send(r)
+	}
+	for k := 0; k < depth; k++ {
+		cl.eng.Defer(issue)
+	}
+}
+
+// Zipf generates Zipf-distributed values in [0, n) with the given skew
+// (θ), using the Gray et al. constant-time algorithm as in YCSB. The
+// paper's RKV workload uses n = 1M, θ = 0.99.
+type Zipf struct {
+	rnd   *sim.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf builds a generator. It precomputes ζ(n, θ) once.
+func NewZipf(rnd *sim.Rand, n uint64, theta float64) *Zipf {
+	z := &Zipf{rnd: rnd, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next Zipf value in [0, n).
+func (z *Zipf) Next() uint64 {
+	u := z.rnd.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ServiceDist draws per-request execution costs; the Figure 16
+// experiments contrast a low-dispersion exponential distribution with a
+// high-dispersion bimodal-2.
+type ServiceDist interface {
+	// Draw returns one service time.
+	Draw() sim.Time
+	// Mean returns the distribution mean.
+	Mean() sim.Time
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Exponential is the low-dispersion case.
+type Exponential struct {
+	R *sim.Rand
+	M sim.Time
+}
+
+// Draw implements ServiceDist.
+func (e Exponential) Draw() sim.Time {
+	return sim.Time(e.R.Exp(float64(e.M)))
+}
+
+// Mean implements ServiceDist.
+func (e Exponential) Mean() sim.Time { return e.M }
+
+// Name implements ServiceDist.
+func (e Exponential) Name() string { return "exponential" }
+
+// Bimodal draws B1 with probability P1, else B2 (the paper's bimodal-2:
+// e.g. 35µs/60µs on the LiquidIOII, 25µs/55µs on the Stingray).
+type Bimodal struct {
+	R      *sim.Rand
+	B1, B2 sim.Time
+	P1     float64
+}
+
+// Draw implements ServiceDist.
+func (b Bimodal) Draw() sim.Time {
+	if b.R.Float64() < b.P1 {
+		return b.B1
+	}
+	return b.B2
+}
+
+// Mean implements ServiceDist.
+func (b Bimodal) Mean() sim.Time {
+	return sim.Time(b.P1*float64(b.B1) + (1-b.P1)*float64(b.B2))
+}
+
+// Name implements ServiceDist.
+func (b Bimodal) Name() string { return "bimodal-2" }

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(sim.NewRand(1), 1000, 0.99)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// With θ=0.99 the hottest key draws a large share and far exceeds a
+	// uniform share (0.1%).
+	if counts[0] < n/30 {
+		t.Fatalf("hottest key got %d of %d; not skewed enough", counts[0], n)
+	}
+	// Monotone-ish decay: key 0 beats key 100 which beats key 900.
+	if !(counts[0] > counts[100] && counts[100] > counts[900]) {
+		t.Fatalf("zipf decay violated: %d %d %d", counts[0], counts[100], counts[900])
+	}
+}
+
+func TestZipfTheoreticalHead(t *testing.T) {
+	// P(0) should be ≈ 1/ζ(n,θ).
+	const keys = 10000
+	z := NewZipf(sim.NewRand(7), keys, 0.99)
+	want := 1 / z.zetan
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if z.Next() == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("P(0) = %v, want ≈%v", got, want)
+	}
+}
+
+func TestExponentialDist(t *testing.T) {
+	d := Exponential{R: sim.NewRand(3), M: 32 * sim.Microsecond}
+	var w float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		w += float64(d.Draw())
+	}
+	mean := w / n
+	if math.Abs(mean-float64(d.Mean())) > 0.03*float64(d.Mean()) {
+		t.Fatalf("measured mean %v vs declared %v", mean, d.Mean())
+	}
+	if d.Name() != "exponential" {
+		t.Fatal("name")
+	}
+}
+
+func TestBimodalDist(t *testing.T) {
+	d := Bimodal{R: sim.NewRand(5), B1: 35 * sim.Microsecond, B2: 60 * sim.Microsecond, P1: 0.5}
+	seen := map[sim.Time]int{}
+	for i := 0; i < 10000; i++ {
+		seen[d.Draw()]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("bimodal produced %d distinct values", len(seen))
+	}
+	if seen[35*sim.Microsecond] < 4500 || seen[35*sim.Microsecond] > 5500 {
+		t.Fatalf("mode balance off: %v", seen)
+	}
+	want := sim.Time(47500 * sim.Nanosecond)
+	if d.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestBimodalHigherDispersionThanExponentialTail(t *testing.T) {
+	// The defining property for Figure 16: bimodal-2 has two well-
+	// separated modes; exponential with the same mean has more mass near
+	// zero but the *per-actor separation* the scheduler sees is the
+	// bimodal's distinct modes.
+	exp := Exponential{R: sim.NewRand(9), M: 47500 * sim.Nanosecond}
+	bi := Bimodal{R: sim.NewRand(9), B1: 35 * sim.Microsecond, B2: 60 * sim.Microsecond, P1: 0.5}
+	if bi.Mean() != exp.Mean() {
+		t.Fatalf("means differ: %v vs %v", bi.Mean(), exp.Mean())
+	}
+}
