@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check bench race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race: the concurrency gate for the engine hot path and the parallel
+# sweep runner (includes the serial-vs-parallel parity test).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/bench/...
+
+# check: the CI step — static analysis plus the race suite.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -2,18 +2,22 @@
 //
 // Usage:
 //
-//	ipipe-bench [-quick] [-seed N] [experiment ...]
+//	ipipe-bench [-quick] [-seed N] [-parallel N] [-json] [experiment ...]
 //
 // With no arguments it lists the available experiment ids; "all" runs
 // everything in paper order. Output is one aligned text table per
 // experiment, with notes comparing against the numbers the paper
-// reports.
+// reports. -json emits one NDJSON record per experiment instead,
+// including wall time and simulated-event throughput. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -21,8 +25,12 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "trim sweeps and windows for a fast run")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one NDJSON record per experiment")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-point worker count (1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile to `file`")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -36,18 +44,53 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = bench.IDs()
 	}
-	opts := bench.Options{Quick: *quick, Seed: *seed}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	for _, id := range ids {
 		r, err := bench.Run(id, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipipe-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if *csvOut {
+		switch {
+		case *jsonOut:
+			if err := r.FprintJSON(os.Stdout, opts); err != nil {
+				fatal(err)
+			}
+		case *csvOut:
 			r.FprintCSV(os.Stdout)
-		} else {
+			fmt.Println()
+		default:
 			r.Fprint(os.Stdout)
+			fmt.Println()
 		}
-		fmt.Println()
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipipe-bench:", err)
+	os.Exit(1)
 }

@@ -395,7 +395,13 @@ func (c *Coordinator) phase1Resp(ctx actor.Ctx, m actor.Msg) sim.Time {
 	if len(st.readAt) == 0 {
 		return c.logAndCommit(ctx, st) + 500*sim.Nanosecond
 	}
-	for p, ops := range st.readAt {
+	// Iterate participants in ring order, not map order: the send order
+	// fixes the message sequence, which determinism depends on.
+	for _, p := range c.participants {
+		ops, ok := st.readAt[p]
+		if !ok {
+			continue
+		}
 		var w wbuf
 		w.u64(id)
 		for _, op := range ops {
@@ -457,7 +463,13 @@ func (c *Coordinator) logAndCommit(ctx actor.Ctx, st *txnState) sim.Time {
 		c.finish(ctx, st, OutcomeCommitted)
 		return 900 * sim.Nanosecond
 	}
-	for p, ops := range st.lockedAt {
+	// Ring order, not map order (see phase1/phase2): keeps the commit
+	// fan-out sequence deterministic.
+	for _, p := range c.participants {
+		ops, ok := st.lockedAt[p]
+		if !ok {
+			continue
+		}
 		var w wbuf
 		w.u64(st.id)
 		for _, op := range ops {
@@ -485,7 +497,11 @@ func (c *Coordinator) commitAck(ctx actor.Ctx, m actor.Msg) sim.Time {
 }
 
 func (c *Coordinator) abort(ctx actor.Ctx, st *txnState) {
-	for p := range st.lockedAt {
+	// Ring order for the same determinism reason as the other phases.
+	for _, p := range c.participants {
+		if _, ok := st.lockedAt[p]; !ok {
+			continue
+		}
 		var w wbuf
 		w.u64(st.id)
 		for _, op := range st.lockedAt[p] {

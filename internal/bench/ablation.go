@@ -27,7 +27,9 @@ func init() {
 func ablateRing(opts Options) *Result {
 	r := &Result{Header: []string{"batch", "msgs/s(M)", "core-cost/msg(ns)", "DMA-writes", "credit-syncs"}}
 	const n = 20000
-	for _, batch := range []int{1, 2, 4, 8, 16} {
+	batches := []int{1, 2, 4, 8, 16}
+	rows := sweepMap(opts, len(batches), func(bi int) []any {
+		batch := batches[bi]
 		eng := sim.NewEngine(opts.seed())
 		dma := pcie.New(eng, spec.LiquidIOII_CN2350().DMA)
 		ch := msgring.NewChannel(eng, dma, 1024, batch)
@@ -62,8 +64,11 @@ func ablateRing(opts Options) *Result {
 		push(0)
 		eng.Run()
 		el := eng.Now().Seconds()
-		r.Add(batch, float64(delivered)/el/1e6, float64(coreCost)/float64(n),
-			dma.Writes, ch.ToHost().CreditSyncs)
+		return []any{batch, float64(delivered) / el / 1e6, float64(coreCost) / float64(n),
+			dma.Writes, ch.ToHost().CreditSyncs}
+	})
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	r.Note("aggregating messages into one scatter-gather PCIe write amortizes the per-transfer cost (I6)")
 	return r
@@ -106,13 +111,26 @@ func ablateQueue(opts Options) *Result {
 		cl.Eng.Run()
 		return client.Lat.Percentile(50), client.Lat.Percentile(99), client.Received
 	}
+	type point struct {
+		flows int
+		load  float64
+		mode  string
+	}
+	var pts []point
 	for _, flows := range []int{2, 64} {
 		for _, load := range []float64{0.5, 0.9} {
 			for _, mode := range []string{"hardware-shared", "software-shuffle", "iokernel"} {
-				p50, p99, served := run(mode, flows, load)
-				r.Add(mode, flows, fmt.Sprintf("%.1f", load), p50, p99, served)
+				pts = append(pts, point{flows, load, mode})
 			}
 		}
+	}
+	rows := sweepMap(opts, len(pts), func(i int) []any {
+		p := pts[i]
+		p50, p99, served := run(p.mode, p.flows, p.load)
+		return []any{p.mode, p.flows, fmt.Sprintf("%.1f", p.load), p50, p99, served}
+	})
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	r.Note("work stealing repairs the shuffle layer's flow-steering imbalance (ZygOS-style); the IOKernel dispatcher balances perfectly but loses a core and adds a routing hop; the hardware queue needs neither (I2)")
 	return r
@@ -159,7 +177,7 @@ func ablateMigration(opts Options) *Result {
 		window = 12 * sim.Millisecond
 	}
 	r := &Result{Header: []string{"placement", "served", "p50(us)", "p99(us)", "migrations"}}
-	run := func(dynamic bool) {
+	run := func(dynamic bool) []any {
 		cl := core.NewCluster(opts.seed())
 		n := cl.AddNode(core.Config{
 			Name: "srv", NIC: spec.LiquidIOII_CN2350(),
@@ -198,10 +216,12 @@ func ablateMigration(opts Options) *Result {
 			name = "iPipe dynamic"
 			migs = n.Sched.PushMigrations + n.Sched.PullMigrations
 		}
-		r.Add(name, client.Received, client.Lat.Percentile(50), client.Lat.Percentile(99), migs)
+		return []any{name, client.Received, client.Lat.Percentile(50), client.Lat.Percentile(99), migs}
 	}
-	run(false)
-	run(true)
+	rows := sweepMap(opts, 2, func(i int) []any { return run(i == 1) })
+	for _, row := range rows {
+		r.Add(row...)
+	}
 	r.Note("the burst exceeds the NIC processor's aggregate capacity for this actor; dynamic placement sheds it to the host mid-run (§5.6's argument against static offloading)")
 	return r
 }

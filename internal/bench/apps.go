@@ -227,26 +227,43 @@ func fig13(opts Options) *Result {
 		sizes = []int{256, 1024}
 	}
 	r := &Result{Header: []string{"link", "role", "size(B)", "DPDK-cores", "iPipe-cores", "saved"}}
-	var totalSaved10, totalSaved25 float64
-	var n10, n25 int
+	// One sweep point per (link, app, size): each runs the DPDK baseline
+	// and the iPipe deployment on its own pair of clusters.
+	type point struct {
+		link float64
+		rr   roleRunner
+		size int
+	}
+	var pts []point
 	for _, link := range []float64{10, 25} {
 		for _, rr := range roleRunners {
 			for _, size := range sizes {
-				base := rr.run(opts.seed(), link, false, size, 24, window)
-				off := rr.run(opts.seed(), link, true, size, 24, window)
-				for _, role := range rr.roles {
-					saved := base.CoresUsed[role] - off.CoresUsed[role]
-					r.Add(fmt.Sprintf("%.0fGbE", link), role, size,
-						base.CoresUsed[role], off.CoresUsed[role], saved)
-					if size >= 256 {
-						if link == 10 {
-							totalSaved10 += saved
-							n10++
-						} else {
-							totalSaved25 += saved
-							n25++
-						}
-					}
+				pts = append(pts, point{link, rr, size})
+			}
+		}
+	}
+	type outcome struct{ base, off appRun }
+	outs := sweepMap(opts, len(pts), func(i int) outcome {
+		p := pts[i]
+		return outcome{
+			base: p.rr.run(opts.seed(), p.link, false, p.size, 24, window),
+			off:  p.rr.run(opts.seed(), p.link, true, p.size, 24, window),
+		}
+	})
+	var totalSaved10, totalSaved25 float64
+	var n10, n25 int
+	for i, p := range pts {
+		for _, role := range p.rr.roles {
+			saved := outs[i].base.CoresUsed[role] - outs[i].off.CoresUsed[role]
+			r.Add(fmt.Sprintf("%.0fGbE", p.link), role, p.size,
+				outs[i].base.CoresUsed[role], outs[i].off.CoresUsed[role], saved)
+			if p.size >= 256 {
+				if p.link == 10 {
+					totalSaved10 += saved
+					n10++
+				} else {
+					totalSaved25 += saved
+					n25++
 				}
 			}
 		}
@@ -267,38 +284,53 @@ func latVsTput(opts Options, link float64) *Result {
 		depths = []int{2, 8, 32}
 	}
 	r := &Result{Header: []string{"app", "mode", "depth", "tput(Kops)", "per-core(Kops)", "p50(us)", "p99(us)"}}
+	type point struct {
+		rr      roleRunner
+		offload bool
+		di      int
+	}
+	var pts []point
+	for _, rr := range roleRunners {
+		for _, offload := range []bool{false, true} {
+			for di := range depths {
+				pts = append(pts, point{rr, offload, di})
+			}
+		}
+	}
+	runs := sweepMap(opts, len(pts), func(i int) appRun {
+		p := pts[i]
+		return p.rr.run(opts.seed(), link, p.offload, 512, depths[p.di], window)
+	})
 	type best struct{ dpdk, ipipe float64 }
 	perCoreBest := map[string]*best{}
 	latAtLow := map[string]*best{}
 	for _, rr := range roleRunners {
 		perCoreBest[rr.app] = &best{}
 		latAtLow[rr.app] = &best{}
-		for _, offload := range []bool{false, true} {
-			mode := "DPDK"
-			if offload {
-				mode = "iPipe"
-			}
-			for di, depth := range depths {
-				run := rr.run(opts.seed(), link, offload, 512, depth, window)
-				// Per-core throughput normalizes by the measured primary
-				// role's host usage (fractional cores, §5.3).
-				cores := run.CoresUsed[rr.roles[0]]
-				perCore := run.Tput / cores / 1e3
-				r.Add(rr.app, mode, depth, run.Tput/1e3, perCore, run.P50, run.P99)
-				b := perCoreBest[rr.app]
-				if offload && perCore > b.ipipe {
-					b.ipipe = perCore
-				}
-				if !offload && perCore > b.dpdk {
-					b.dpdk = perCore
-				}
-				if di == 0 {
-					if offload {
-						latAtLow[rr.app].ipipe = run.P50
-					} else {
-						latAtLow[rr.app].dpdk = run.P50
-					}
-				}
+	}
+	for i, p := range pts {
+		run := runs[i]
+		mode := "DPDK"
+		if p.offload {
+			mode = "iPipe"
+		}
+		// Per-core throughput normalizes by the measured primary
+		// role's host usage (fractional cores, §5.3).
+		cores := run.CoresUsed[p.rr.roles[0]]
+		perCore := run.Tput / cores / 1e3
+		r.Add(p.rr.app, mode, depths[p.di], run.Tput/1e3, perCore, run.P50, run.P99)
+		b := perCoreBest[p.rr.app]
+		if p.offload && perCore > b.ipipe {
+			b.ipipe = perCore
+		}
+		if !p.offload && perCore > b.dpdk {
+			b.dpdk = perCore
+		}
+		if p.di == 0 {
+			if p.offload {
+				latAtLow[p.rr.app].ipipe = run.P50
+			} else {
+				latAtLow[p.rr.app].dpdk = run.P50
 			}
 		}
 	}
@@ -360,19 +392,25 @@ func fig17(opts Options) *Result {
 	// as the paper drives network load).
 	maxRate := spec.LineRatePPS(10, 512) * 0.30 // app-level ceiling
 	r := &Result{Header: []string{"load(%)", "leader-no-ipipe", "leader-ipipe", "follower-no-ipipe", "follower-ipipe", "overhead(%)"}}
+	// Points: loads × {raw, iPipe}; inner index 0 is the raw (no-iPipe)
+	// deployment, 1 the instrumented one.
+	type usage struct{ leader, follower float64 }
+	g := grid{outer: len(loads), inner: 2}
+	cells := sweepMap(opts, g.size(), func(i int) usage {
+		li, ri := g.split(i)
+		rate := maxRate * float64(loads[li]) / 100
+		l, f, _ := run(ri == 0, rate)
+		return usage{l, f}
+	})
 	var overheads []float64
-	for _, load := range loads {
-		rate := maxRate * float64(load) / 100
-		l0, f0, rec0 := run(true, rate)
-		l1, f1, rec1 := run(false, rate)
+	for li, load := range loads {
+		raw, inst := cells[li*2], cells[li*2+1]
 		ovh := 0.0
-		if l0 > 0 {
-			ovh = (l1 - l0) / l0 * 100
+		if raw.leader > 0 {
+			ovh = (inst.leader - raw.leader) / raw.leader * 100
 		}
 		overheads = append(overheads, ovh)
-		r.Add(load, l0, l1, f0, f1, ovh)
-		_ = rec0
-		_ = rec1
+		r.Add(load, raw.leader, inst.leader, raw.follower, inst.follower, ovh)
 	}
 	var sum float64
 	for _, o := range overheads {

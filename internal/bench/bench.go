@@ -9,10 +9,14 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/sim"
 )
 
 // Options tunes a run.
@@ -21,6 +25,10 @@ type Options struct {
 	Quick bool
 	// Seed makes runs reproducible; 0 uses 1.
 	Seed uint64
+	// Parallel is the worker count for fanning independent sweep points
+	// across goroutines (each point runs its own seeded sim.Engine).
+	// 0 or 1 runs points serially; results are identical either way.
+	Parallel int
 }
 
 func (o Options) seed() uint64 {
@@ -38,6 +46,12 @@ type Result struct {
 	Rows   [][]string
 	// Notes carry the paper-vs-measured commentary.
 	Notes []string
+	// Wall is the real time Run spent producing this result; Events is
+	// the number of simulation events executed while doing so. Both are
+	// filled by Run for bench-trajectory tracking (-json); they are not
+	// part of the table output and not compared by parity tests.
+	Wall   time.Duration
+	Events uint64
 }
 
 // Add appends a row of cells (fmt.Sprint applied to each).
@@ -159,8 +173,51 @@ func Run(id string, opts Options) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
 	}
+	start := time.Now()
+	ev0 := sim.TotalExecuted()
 	r := e.run(opts)
+	r.Wall = time.Since(start)
+	r.Events = sim.TotalExecuted() - ev0
 	r.ID = e.id
 	r.Title = e.title
 	return r, nil
+}
+
+// jsonRecord is the machine-readable form of a Result, one line of
+// NDJSON per experiment, for tracking bench trajectories across PRs.
+type jsonRecord struct {
+	ID           string     `json:"id"`
+	Title        string     `json:"title"`
+	Header       []string   `json:"header"`
+	Rows         [][]string `json:"rows"`
+	Notes        []string   `json:"notes,omitempty"`
+	WallMS       float64    `json:"wall_ms"`
+	Events       uint64     `json:"events"`
+	EventsPerSec float64    `json:"events_per_sec"`
+	Seed         uint64     `json:"seed"`
+	Quick        bool       `json:"quick"`
+	Parallel     int        `json:"parallel"`
+}
+
+// FprintJSON renders the result as a single NDJSON record. opts should
+// be the Options the result was produced with; they are embedded so a
+// recorded trajectory is self-describing.
+func (r *Result) FprintJSON(w io.Writer, opts Options) error {
+	rec := jsonRecord{
+		ID:     r.ID,
+		Title:  r.Title,
+		Header: r.Header,
+		Rows:   r.Rows,
+		Notes:  r.Notes,
+		WallMS: float64(r.Wall.Microseconds()) / 1e3,
+		Events: r.Events,
+		Seed:   opts.seed(),
+		Quick:  opts.Quick,
+		Parallel: opts.workers(),
+	}
+	if s := r.Wall.Seconds(); s > 0 {
+		rec.EventsPerSec = float64(r.Events) / s
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rec)
 }

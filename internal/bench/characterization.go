@@ -49,10 +49,16 @@ func bwVsCores(opts Options, m *spec.NICModel) *Result {
 	for _, s := range pktSizes {
 		r.Header = append(r.Header, fmt.Sprintf("%dB(Gbps)", s))
 	}
+	// Every (cores, size) cell is an independent simulation point.
+	g := grid{outer: m.Cores, inner: len(pktSizes)}
+	cells := sweepMap(opts, g.size(), func(i int) float64 {
+		ci, si := g.split(i)
+		return echoGbps(opts.seed(), m, ci+1, pktSizes[si], 0, window)
+	})
 	for c := 1; c <= m.Cores; c++ {
 		row := []any{c}
-		for _, s := range pktSizes {
-			row = append(row, echoGbps(opts.seed(), m, c, s, 0, window))
+		for si := range pktSizes {
+			row = append(row, cells[(c-1)*len(pktSizes)+si])
 		}
 		r.Add(row...)
 	}
@@ -77,13 +83,18 @@ func fig4(opts Options) *Result {
 	sr := spec.Stingray_PS225()
 	lats := []float64{0, 0.125, 0.25, 0.5, 1, 2, 4, 8, 16}
 	r := &Result{Header: []string{"proc-lat(us)", "256B-10GbE", "1024B-10GbE", "256B-25GbE", "1024B-25GbE"}}
-	for _, l := range lats {
-		extra := sim.Micros(l)
-		r.Add(l,
-			echoGbps(opts.seed(), lio, lio.Cores, 256, extra, window),
-			echoGbps(opts.seed(), lio, lio.Cores, 1024, extra, window),
-			echoGbps(opts.seed(), sr, sr.Cores, 256, extra, window),
-			echoGbps(opts.seed(), sr, sr.Cores, 1024, extra, window))
+	cols := []struct {
+		m    *spec.NICModel
+		size int
+	}{{lio, 256}, {lio, 1024}, {sr, 256}, {sr, 1024}}
+	g := grid{outer: len(lats), inner: len(cols)}
+	cells := sweepMap(opts, g.size(), func(i int) float64 {
+		li, ci := g.split(i)
+		c := cols[ci]
+		return echoGbps(opts.seed(), c.m, c.m.Cores, c.size, sim.Micros(lats[li]), window)
+	})
+	for li, l := range lats {
+		r.Add(l, cells[li*len(cols)], cells[li*len(cols)+1], cells[li*len(cols)+2], cells[li*len(cols)+3])
 	}
 	r.Note("computing headroom (model): 10GbE 256B=%.2fus 1024B=%.2fus; 25GbE 256B=%.2fus 1024B=%.2fus",
 		lio.ComputeHeadroom(256).Micros(), lio.ComputeHeadroom(1024).Micros(),
@@ -118,10 +129,18 @@ func fig5(opts Options) *Result {
 		return lat.Mean(), lat.Percentile(99)
 	}
 	r := &Result{Header: []string{"size(B)", "6core-avg(us)", "12core-avg(us)", "6core-p99(us)", "12core-p99(us)"}}
-	for _, s := range []int{64, 512, 1024, 1500} {
-		a6, p6 := run(6, s)
-		a12, p12 := run(12, s)
-		r.Add(s, a6, a12, p6, p12)
+	sizes := []int{64, 512, 1024, 1500}
+	type latPair struct{ avg, p99 float64 }
+	g := grid{outer: len(sizes), inner: 2}
+	cores := [2]int{6, 12}
+	cells := sweepMap(opts, g.size(), func(i int) latPair {
+		si, ci := g.split(i)
+		a, p := run(cores[ci], sizes[si])
+		return latPair{a, p}
+	})
+	for si, s := range sizes {
+		c6, c12 := cells[si*2], cells[si*2+1]
+		r.Add(s, c6.avg, c12.avg, c6.p99, c12.p99)
 	}
 	r.Note("paper: 12-core adds only ~4.1%%/3.4%% avg/p99 over 6-core — the hardware traffic manager gives a cheap shared queue (I2)")
 	return r
@@ -199,18 +218,28 @@ func fig7(opts Options) *Result {
 	return r
 }
 
+// dmaCombos are the four (blocking, write) column variants of the DMA
+// throughput figures, in table column order.
+var dmaCombos = [4]struct{ blocking, write bool }{
+	{true, false}, {false, false}, {true, true}, {false, true},
+}
+
 func fig8(opts Options) *Result {
 	prof := spec.LiquidIOII_CN2350().DMA
 	r := &Result{Header: []string{"payload(B)", "blk-read(Mops)", "nonblk-read(Mops)", "blk-write(Mops)", "nonblk-write(Mops)"}}
-	for _, s := range dmaSizes {
-		r.Add(s,
-			dmaThroughput(opts.seed(), prof, s, true, false),
-			dmaThroughput(opts.seed(), prof, s, false, false),
-			dmaThroughput(opts.seed(), prof, s, true, true),
-			dmaThroughput(opts.seed(), prof, s, false, true))
+	g := grid{outer: len(dmaSizes), inner: len(dmaCombos)}
+	cells := sweepMap(opts, g.size(), func(i int) float64 {
+		si, ci := g.split(i)
+		c := dmaCombos[ci]
+		return dmaThroughput(opts.seed(), prof, dmaSizes[si], c.blocking, c.write)
+	})
+	for si, s := range dmaSizes {
+		r.Add(s, cells[si*4], cells[si*4+1], cells[si*4+2], cells[si*4+3])
 	}
-	r.Note("2KB non-blocking write sustains ≈%.1f GB/s per core (paper: 2.1 GB/s)",
-		dmaThroughput(opts.seed(), prof, 2048, false, true)*1e6*2048/1e9)
+	// The 2KB non-blocking write is the last row's last column; the same
+	// deterministic point the serial code recomputed.
+	nb2k := cells[(len(dmaSizes)-1)*4+3]
+	r.Note("2KB non-blocking write sustains ≈%.1f GB/s per core (paper: 2.1 GB/s)", nb2k*1e6*2048/1e9)
 	return r
 }
 
@@ -230,12 +259,17 @@ func fig10(opts Options) *Result {
 	bf := spec.BlueField_1M332A().DMA
 	lio := spec.LiquidIOII_CN2350().DMA
 	r := &Result{Header: []string{"payload(B)", "rdma-read(Mops)", "rdma-write(Mops)", "dma-blk-read(Mops)", "dma-blk-write(Mops)"}}
-	for _, s := range dmaSizes {
-		r.Add(s,
-			dmaThroughput(opts.seed(), bf, s, true, false),
-			dmaThroughput(opts.seed(), bf, s, true, true),
-			dmaThroughput(opts.seed(), lio, s, true, false),
-			dmaThroughput(opts.seed(), lio, s, true, true))
+	cols := [4]struct {
+		prof  spec.DMAProfile
+		write bool
+	}{{bf, false}, {bf, true}, {lio, false}, {lio, true}}
+	g := grid{outer: len(dmaSizes), inner: len(cols)}
+	cells := sweepMap(opts, g.size(), func(i int) float64 {
+		si, ci := g.split(i)
+		return dmaThroughput(opts.seed(), cols[ci].prof, dmaSizes[si], true, cols[ci].write)
+	})
+	for si, s := range dmaSizes {
+		r.Add(s, cells[si*4], cells[si*4+1], cells[si*4+2], cells[si*4+3])
 	}
 	r.Note("small-message RDMA throughput trails native DMA; ≥512B they converge (paper: 1/3 below 256B)")
 	return r

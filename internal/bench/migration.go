@@ -23,6 +23,10 @@ func init() {
 // applications' actors on one SmartNIC, warm them under load, force a
 // push migration of each, and report the four phase durations. The LSM
 // Memtable is prefilled to ≈32MB as in the paper.
+//
+// Unlike the other runners this is ONE scenario, not a sweep: the eight
+// migrations share a cluster and interleave on its timeline, so there is
+// no independent point structure to fan out and it stays serial.
 func fig18(opts Options) *Result {
 	warm := 5 * sim.Millisecond
 	if opts.Quick {
@@ -197,20 +201,27 @@ func floem(opts Options) *Result {
 		window = 2 * sim.Millisecond
 	}
 	r := &Result{Header: []string{"size(B)", "runtime", "goodput(Gbps)", "host-cores", "Gbps/core"}}
+	sizes := []int{512, 64}
+	modes := []string{"Floem", "iPipe"}
+	g := grid{outer: len(sizes), inner: len(modes)}
+	runs := sweepMap(opts, g.size(), func(i int) appRun {
+		si, mi := g.split(i)
+		return runRTAVariant(opts.seed(), modes[mi], sizes[si], window)
+	})
 	var per512 map[string]float64 = map[string]float64{}
 	var per64 map[string]float64 = map[string]float64{}
-	for _, size := range []int{512, 64} {
-		for _, mode := range []string{"Floem", "iPipe"} {
-			run := runRTAVariant(opts.seed(), mode, size, window)
-			gbps := run.Tput * float64(size) * 8 / 1e9
-			cores := run.CoresUsed["RTA Worker"]
-			perCore := gbps / cores
-			r.Add(size, mode, gbps, cores, perCore)
-			if size == 512 {
-				per512[mode] = perCore
-			} else {
-				per64[mode] = perCore
-			}
+	for i := 0; i < g.size(); i++ {
+		si, mi := g.split(i)
+		size, mode := sizes[si], modes[mi]
+		run := runs[i]
+		gbps := run.Tput * float64(size) * 8 / 1e9
+		cores := run.CoresUsed["RTA Worker"]
+		perCore := gbps / cores
+		r.Add(size, mode, gbps, cores, perCore)
+		if size == 512 {
+			per512[mode] = perCore
+		} else {
+			per64[mode] = perCore
 		}
 	}
 	r.Note("512B: iPipe/Floem per-core = %.2fX (paper: 2.9 vs 1.6 Gbps/core = 1.8X)", per512["iPipe"]/per512["Floem"])
@@ -284,20 +295,21 @@ func nfExp(opts Options) *Result {
 	}
 	r := &Result{Header: []string{"function", "config", "metric", "value"}}
 
-	// Firewall: average latency across load points (paper: 3.65–19.41µs
-	// from low to high load, 8K rules, 1KB packets).
-	fwLat := func(load float64) float64 {
-		res := runFirewall(opts.seed(), load, window)
-		return res.P50
-	}
-	lo, hi := fwLat(0.2), fwLat(0.9)
-	r.Add("Firewall", "8K rules, 1KB, 10GbE", "p50 low-load (us)", lo)
-	r.Add("Firewall", "8K rules, 1KB, 10GbE", "p50 high-load (us)", hi)
-
-	// IPSec: achieved bandwidth at 1KB packets on both LiquidIO cards.
-	for _, nic := range []*spec.NICModel{spec.LiquidIOII_CN2350(), spec.LiquidIOII_CN2360()} {
-		g := runIPSec(opts.seed(), nic, window)
-		r.Add("IPSec", fmt.Sprintf("1KB, %s", nic.Name), "goodput (Gbps)", g)
+	// Four independent points: two firewall load levels (paper:
+	// 3.65–19.41µs from low to high load, 8K rules, 1KB packets) and the
+	// IPSec gateway on both LiquidIO cards.
+	fwLoads := []float64{0.2, 0.9}
+	nics := []*spec.NICModel{spec.LiquidIOII_CN2350(), spec.LiquidIOII_CN2360()}
+	vals := sweepMap(opts, len(fwLoads)+len(nics), func(i int) float64 {
+		if i < len(fwLoads) {
+			return runFirewall(opts.seed(), fwLoads[i], window).P50
+		}
+		return runIPSec(opts.seed(), nics[i-len(fwLoads)], window)
+	})
+	r.Add("Firewall", "8K rules, 1KB, 10GbE", "p50 low-load (us)", vals[0])
+	r.Add("Firewall", "8K rules, 1KB, 10GbE", "p50 high-load (us)", vals[1])
+	for ni, nic := range nics {
+		r.Add("IPSec", fmt.Sprintf("1KB, %s", nic.Name), "goodput (Gbps)", vals[len(fwLoads)+ni])
 	}
 	r.Note("paper: firewall 3.65–19.41us across load; IPSec 8.6 Gbps (10GbE) / 22.9 Gbps (25GbE)")
 	return r

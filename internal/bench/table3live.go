@@ -32,8 +32,8 @@ func table3Live(opts Options) *Result {
 		func() microbench.Workload { return microbench.NewBayes(4, 8, 32) },
 		func() microbench.Workload { return microbench.NewChainRep([]string{"h", "m", "t"}) },
 	}
-	for _, build := range builders {
-		w := build()
+	rows := sweepMap(opts, len(builders), func(bi int) []any {
+		w := builders[bi]()
 		prof, _ := spec.WorkloadByName(w.Name())
 		cl := core.NewCluster(opts.seed())
 		n := cl.AddNode(core.Config{Name: "srv", NIC: spec.LiquidIOII_CN2350(), DisableMigration: true})
@@ -58,8 +58,11 @@ func table3Live(opts Options) *Result {
 		measured := a.ServiceStats.Mean()
 		want := prof.ExecLat1KB.Micros()
 		delta := (measured - want) / want * 100
-		r.Add(w.Name(), want, measured, delta)
 		_ = actor.Stable
+		return []any{w.Name(), want, measured, delta}
+	})
+	for _, row := range rows {
+		r.Add(row...)
 	}
 	r.Note("measured = ServiceStats EWMA through the full runtime (includes forwarding tax and reply send); small positive deltas are those runtime charges")
 	return r

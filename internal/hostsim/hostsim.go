@@ -103,14 +103,17 @@ func (h *Host) Actor(id actor.ID) (*actor.Actor, bool) {
 func (h *Host) Actors() int { return len(h.actors) }
 
 // LeastLoadedActor returns the host actor with the smallest load, the
-// pull-migration candidate (§3.2.5); nil when none is eligible.
+// pull-migration candidate (§3.2.5); nil when none is eligible. Ties
+// break by actor ID: the selection must not depend on map iteration
+// order, or runs stop being reproducible.
 func (h *Host) LeastLoadedActor() *actor.Actor {
 	var best *actor.Actor
 	for _, a := range h.actors {
 		if a.PinHost || a.State != actor.Stable {
 			continue
 		}
-		if best == nil || a.Load() < best.Load() {
+		if best == nil || a.Load() < best.Load() ||
+			(a.Load() == best.Load() && a.ID < best.ID) {
 			best = a
 		}
 	}

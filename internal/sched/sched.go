@@ -442,7 +442,10 @@ func (s *Scheduler) downgrade() {
 		if a.InDRR {
 			continue
 		}
-		if victim == nil || a.ServiceStats.Tail() > victim.ServiceStats.Tail() {
+		// Ties break by actor ID so the victim never depends on map
+		// iteration order (symmetric shard actors tie routinely).
+		if victim == nil || a.ServiceStats.Tail() > victim.ServiceStats.Tail() ||
+			(a.ServiceStats.Tail() == victim.ServiceStats.Tail() && a.ID < victim.ID) {
 			victim = a
 		}
 	}
@@ -682,7 +685,10 @@ func (s *Scheduler) highestLoadActor() *actor.Actor {
 		if a.ExecStats.Count() == 0 {
 			continue
 		}
-		if best == nil || a.Load() > best.Load() {
+		// ID tie-break: keep the push-migration victim independent of
+		// map iteration order (determinism contract).
+		if best == nil || a.Load() > best.Load() ||
+			(a.Load() == best.Load() && a.ID < best.ID) {
 			best = a
 		}
 	}

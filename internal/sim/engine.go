@@ -4,12 +4,17 @@
 // cores) run on top of a single Engine. Time is virtual: an Event fires at
 // an absolute Time, and the engine executes events in (time, sequence)
 // order, so runs are fully reproducible for a fixed seed and schedule.
+//
+// The engine is single-threaded by design — determinism comes from the
+// total (time, seq) event order. Concurrency in the experiment harness is
+// achieved by running many independent Engines, one per sweep point, not
+// by sharing one engine across goroutines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,70 +52,77 @@ func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // Micros builds a virtual time from floating-point microseconds.
 func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
 
-// event is a scheduled callback.
+// Event lifecycle states. An event is pending from At until it either
+// fires (stateFired) or is cancelled via Timer.Stop (stateStopped).
+// Stopped events stay in the heap and are discarded lazily when they
+// reach the top, or in bulk when too many accumulate (see compact).
+const (
+	statePending uint8 = iota
+	stateFired
+	stateStopped
+)
+
+// event is a scheduled callback. Events are pooled: after firing or
+// being discarded they return to the engine's free list and are reused
+// by later At/After/Defer calls. gen increments on every recycle so
+// stale Timer handles can detect that "their" event is gone.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among events at the same instant
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	at    Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	gen   uint64 // incremented on recycle; guards Timer handles
+	fn    func()
+	state uint8
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// small value (no allocation): At/After/Defer return it by value, and
+// callers that ignore it pay nothing.
 type Timer struct {
-	e *event
+	eng *Engine
+	e   *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead || t.e.idx == -1 && t.e.fn == nil {
+// Stop cancels the timer. It reports whether the cancellation took
+// effect, i.e. the event was still pending: false if the event already
+// fired, was already stopped (double-stop), or the handle is zero.
+func (t Timer) Stop() bool {
+	if t.e == nil || t.gen != t.e.gen || t.e.state != statePending {
 		return false
 	}
-	fired := t.e.fn == nil
-	t.e.dead = true
-	return !fired && !t.expired()
+	t.e.state = stateStopped
+	t.e.fn = nil // release the closure now; the shell stays heaped
+	t.eng.dead++
+	t.eng.maybeCompact()
+	return true
 }
 
-func (t *Timer) expired() bool { return t.e.fn == nil }
+// Pending reports whether the event has neither fired nor been stopped.
+func (t Timer) Pending() bool {
+	return t.e != nil && t.gen == t.e.gen && t.e.state == statePending
+}
+
+// executedTotal counts events executed across all engines in the
+// process. Engines flush into it at the end of Run/RunUntil (not per
+// event — this must not touch the hot path), so it is a cheap process-
+// wide progress meter for the bench harness's events/sec reporting.
+var executedTotal atomic.Uint64
+
+// TotalExecuted returns the process-wide count of executed events,
+// accumulated when engines finish a Run/RunUntil call.
+func TotalExecuted() uint64 { return executedTotal.Load() }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *Rand
-	ran    uint64 // events executed
+	now     Time
+	seq     uint64
+	q       eventQueue
+	dead    int      // stopped events still occupying heap slots
+	free    []*event // recycled event shells for reuse
+	rng     *Rand
+	ran     uint64 // events executed
+	flushed uint64 // portion of ran already added to executedTotal
 }
 
 // NewEngine returns an engine at time zero with a deterministic PRNG
@@ -128,44 +140,68 @@ func (e *Engine) Rand() *Rand { return e.rng }
 // Executed reports the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.ran }
 
-// Pending reports the number of scheduled (not yet fired) events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of scheduled (not yet fired) events,
+// excluding cancelled ones awaiting cleanup.
+func (e *Engine) Pending() int { return len(e.q) - e.dead }
+
+// alloc takes an event shell from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates outstanding Timer handles for ev and returns it to
+// the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a model bug.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.state = t, e.seq, fn, statePending
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{e: ev}
+	e.q.push(ev)
+	return Timer{eng: e, e: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
 // Defer schedules fn to run at the current instant, after all callbacks
 // already queued for this instant. It is the simulation analogue of
 // yielding to the scheduler.
-func (e *Engine) Defer(fn func()) *Timer { return e.At(e.now, fn) }
+func (e *Engine) Defer(fn func()) Timer { return e.At(e.now, fn) }
 
 // Step executes the next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.dead {
+	for len(e.q) > 0 {
+		ev := e.q.pop()
+		if ev.state == stateStopped {
+			e.dead--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		fn := ev.fn
-		ev.fn = nil
+		ev.state = stateFired
+		e.recycle(ev) // recycled before fn so chains reuse the shell
 		e.ran++
 		fn()
 		return true
@@ -175,38 +211,88 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains.
 func (e *Engine) Run() {
-	for e.Step() {
+	for len(e.q) > 0 {
+		ev := e.q.pop()
+		if ev.state == stateStopped {
+			e.dead--
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.state = stateFired
+		e.recycle(ev)
+		e.ran++
+		fn()
 	}
+	e.flushExecuted()
 }
 
-// RunUntil executes events with time ≤ deadline, then advances the clock
-// to deadline. Events scheduled beyond the deadline remain pending.
+// RunUntil executes events with time ≤ deadline (including events that
+// callbacks schedule at or before the deadline while it runs), then
+// advances the clock to deadline. Events beyond it remain pending.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
-		next := e.peek()
-		if next == nil {
+	for len(e.q) > 0 {
+		top := e.q[0]
+		if top.state == stateStopped {
+			e.q.pop()
+			e.dead--
+			e.recycle(top)
+			continue
+		}
+		if top.at > deadline {
 			break
 		}
-		if next.at > deadline {
-			break
-		}
-		e.Step()
+		e.q.pop()
+		e.now = top.at
+		fn := top.fn
+		top.state = stateFired
+		e.recycle(top)
+		e.ran++
+		fn()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.flushExecuted()
 }
 
 // RunFor executes events for a span of virtual time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
-func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		if e.events[0].dead {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
+// flushExecuted publishes this engine's progress to the process-wide
+// counter. Called at the end of Run/RunUntil, never per event.
+func (e *Engine) flushExecuted() {
+	if d := e.ran - e.flushed; d > 0 {
+		executedTotal.Add(d)
+		e.flushed = e.ran
 	}
-	return nil
+}
+
+// maybeCompact bounds the garbage cancelled events can pin in the heap:
+// cleanup is lazy (discard at pop) until stopped events are both
+// numerous (>64) and the majority of the heap, then one O(n) sweep
+// removes them all. Amortized cost per Stop stays O(1); the heap never
+// holds more than ~2× the live events.
+func (e *Engine) maybeCompact() {
+	if e.dead > 64 && e.dead*2 > len(e.q) {
+		e.compact()
+	}
+}
+
+func (e *Engine) compact() {
+	live := e.q[:0]
+	for _, ev := range e.q {
+		if ev.state == stateStopped {
+			e.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.q); i++ {
+		e.q[i] = nil
+	}
+	e.q = live
+	e.q.reheap()
+	e.dead = 0
 }

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventsPerSec measures raw event throughput on the hot
+// path every substrate shares: schedule → pop → fire. A fixed fan of
+// self-rescheduling callbacks keeps the queue at a realistic depth
+// (hundreds of pending events) so heap reshuffling cost is included.
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	const fan = 256 // concurrent timer chains ≈ pending-queue depth
+	e := NewEngine(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		remaining--
+		if remaining > 0 {
+			e.After(Time(1+e.rng.Intn(1000)), tick)
+		}
+	}
+	for i := 0; i < fan && i < b.N; i++ {
+		e.After(Time(1+e.rng.Intn(1000)), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineScheduleFire exercises the one-shot pattern (At with an
+// immediately-consumed deadline) that pktgen-style drivers use when they
+// pre-schedule a whole arrival schedule.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		for i := 0; i < batch; i++ {
+			e.At(e.Now()+Time(i), fn)
+		}
+		e.Run()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineTimerStop measures the cancel path: half the scheduled
+// timers are stopped before firing, as retransmit/watchdog timers are in
+// the protocol models.
+func BenchmarkEngineTimerStop(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		timers := make([]Timer, 0, batch/2)
+		for i := 0; i < batch; i++ {
+			tm := e.At(e.Now()+Time(i), fn)
+			if i%2 == 0 {
+				timers = append(timers, tm)
+			}
+		}
+		for i := range timers {
+			timers[i].Stop()
+		}
+		e.Run()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
