@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet
+.PHONY: build test check bench race vet trace-smoke
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,18 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/...
 
-# check: the CI step — static analysis plus the race suite.
-check: vet race
+# trace-smoke: run a traced simulation and validate the emitted Chrome
+# trace (well-formed trace_event JSON, named lanes, monotonic per-track
+# timestamps) and the NDJSON metric snapshots.
+trace-smoke:
+	$(GO) run ./cmd/ipipe-sim -app rkv -nic cn2350 -duration 5ms \
+		-trace /tmp/ipipe-trace-smoke.json -metrics /tmp/ipipe-metrics-smoke.ndjson >/dev/null
+	$(GO) run ./cmd/ipipe-trace check /tmp/ipipe-trace-smoke.json
+	$(GO) run ./cmd/ipipe-trace check-metrics /tmp/ipipe-metrics-smoke.ndjson
+
+# check: the CI step — static analysis, the race suite, and the
+# observability smoke test.
+check: vet race trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -15,11 +15,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -31,6 +36,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file`")
+	traceFile := flag.String("trace", "", "write a Chrome trace of every simulated cluster to `file` (forces -parallel 1)")
+	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file` (forces -parallel 1)")
+	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -57,6 +65,38 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Observability: one tracer shared across every cluster the sweep
+	// builds (groups prefixed r00/, r01/, ...), one collector per cluster
+	// (each is bound to its engine) concatenated into one NDJSON stream.
+	// Sweep points must then run serially: parallel workers would race on
+	// the shared tracer and scramble registration order.
+	var tracer *obs.Tracer
+	var collectors []*obs.Collector
+	if *traceFile != "" || *metricsFile != "" {
+		if *parallel != 1 {
+			fmt.Fprintln(os.Stderr, "ipipe-bench: -trace/-metrics force -parallel 1")
+			*parallel = 1
+		}
+		if *traceFile != "" {
+			tracer = obs.NewTracer()
+		}
+		run := 0
+		core.SetDefaultObserver(func(c *core.Cluster) {
+			prefix := fmt.Sprintf("r%02d/", run)
+			run++
+			if tracer != nil {
+				c.EnableTracingPrefixed(tracer, prefix)
+			}
+			if *metricsFile != "" {
+				col := obs.NewCollector(c.Eng, sim.Time(metricsInterval.Nanoseconds()))
+				collectors = append(collectors, col)
+				c.EnableMetricsPrefixed(col, prefix)
+				col.Start()
+			}
+		})
+		defer core.SetDefaultObserver(nil)
+	}
+
 	opts := bench.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	for _, id := range ids {
 		r, err := bench.Run(id, opts)
@@ -77,6 +117,29 @@ func main() {
 		}
 	}
 
+	if tracer != nil {
+		if err := writeTo(*traceFile, tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans on %d tracks -> %s\n",
+			tracer.Spans(), tracer.Tracks(), *traceFile)
+	}
+	if *metricsFile != "" {
+		err := writeTo(*metricsFile, func(w io.Writer) error {
+			for _, col := range collectors {
+				col.Snapshot() // end-state record per cluster
+				if err := col.WriteNDJSON(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d clusters -> %s\n", len(collectors), *metricsFile)
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -93,4 +156,20 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ipipe-bench:", err)
 	os.Exit(1)
+}
+
+// writeTo writes an exporter's output to a file ("-" for stdout).
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

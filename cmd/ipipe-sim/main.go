@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -50,6 +51,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "injected network packet loss rate [0,1)")
 	queue := flag.String("queue", "auto", "NIC ingress model: auto | shared | shuffle | iokernel")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file`")
+	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
 	flag.Parse()
 
 	nic, ok := nicByFlag(*nicName)
@@ -62,6 +66,17 @@ func main() {
 
 	cl := ipipe.NewCluster(*seed)
 	cl.Net.LossRate = *loss
+
+	var tracer *ipipe.Tracer
+	if *traceFile != "" {
+		tracer = ipipe.NewTracer()
+		cl.EnableTracing(tracer)
+	}
+	var collector *ipipe.Collector
+	if *metricsFile != "" {
+		collector = ipipe.NewMetricsCollector(cl, ipipe.Duration(metricsInterval.Nanoseconds()))
+		cl.EnableMetrics(collector)
+	}
 	mkNode := func(name string) *ipipe.Node {
 		cfg := ipipe.NodeConfig{Name: name, NIC: nic, LinkGbps: linkOf(nic)}
 		if nic != nil && *queue != "auto" {
@@ -191,7 +206,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	if collector != nil {
+		collector.Start()
+	}
 	cl.Eng.Run()
+	if collector != nil {
+		collector.Snapshot() // end-state record
+	}
+
+	if tracer != nil {
+		if err := writeTo(*traceFile, tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans on %d tracks -> %s\n",
+			tracer.Spans(), tracer.Tracks(), *traceFile)
+	}
+	if collector != nil {
+		if err := writeTo(*metricsFile, collector.WriteNDJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d snapshots -> %s\n", collector.Snapshots(), *metricsFile)
+	}
 
 	mode := "iPipe"
 	if !offload {
@@ -220,4 +257,20 @@ func linkOf(nic *ipipe.NICModel) float64 {
 		return 10
 	}
 	return nic.LinkGbps
+}
+
+// writeTo writes an exporter's output to a file ("-" for stdout).
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,59 @@
+// Command ipipe-trace validates observability artifacts emitted by
+// ipipe-sim / ipipe-bench:
+//
+//	ipipe-trace check out.json           # Chrome trace_event JSON
+//	ipipe-trace check-metrics out.ndjson # NDJSON metric snapshots
+//
+// For traces it checks the file is well-formed trace_event JSON, every
+// event carries a known phase, every lane is named, and timestamps are
+// monotonic per (process, lane) — the invariants chrome://tracing and
+// Perfetto rely on. Exit status 0 means valid; a summary is printed
+// either way.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch cmd {
+	case "check":
+		st, err := obs.ValidateChromeTrace(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: valid trace: %d events (%d spans, %d instants) across %d processes / %d tracks\n",
+			path, st.Events, st.Spans, st.Instants, st.Processes, st.Tracks)
+	case "check-metrics":
+		st, err := obs.ValidateMetricsNDJSON(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: valid metrics: %d records across %d registries\n",
+			path, st.Records, st.Registries)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ipipe-trace check <trace.json> | check-metrics <metrics.ndjson>")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipipe-trace:", err)
+	os.Exit(1)
+}

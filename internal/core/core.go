@@ -22,6 +22,7 @@ import (
 	"repro/internal/msgring"
 	"repro/internal/netsim"
 	"repro/internal/nicsim"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -48,18 +49,32 @@ type Cluster struct {
 	Net   *netsim.Network
 	Table *actor.Table
 	nodes map[string]*Node
+
+	tracer    *obs.Tracer
+	collector *obs.Collector
+	obsPrefix string
 }
 
 // NewCluster creates an empty cluster with a deterministic seed.
 func NewCluster(seed uint64) *Cluster {
 	eng := sim.NewEngine(seed)
-	return &Cluster{
+	c := &Cluster{
 		Eng:   eng,
 		Net:   netsim.New(eng),
 		Table: actor.NewTable(),
 		nodes: map[string]*Node{},
 	}
+	if defaultObserver != nil {
+		defaultObserver(c)
+	}
+	return c
 }
+
+// Tracer returns the cluster's tracer (nil when tracing is disabled).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// Collector returns the cluster's metrics collector (nil when disabled).
+func (c *Cluster) Collector() *obs.Collector { return c.collector }
 
 // Node returns a node by name, or nil.
 func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
@@ -134,6 +149,11 @@ type Node struct {
 
 	actors map[actor.ID]*actor.Actor
 
+	// obs holds the node's trace tracks; latHist the per-node request
+	// sojourn histogram. Both nil unless observability is enabled.
+	obs     *nodeObs
+	latHist *obs.Histogram
+
 	// Migrations records completed push migrations for Figure 18.
 	Migrations []MigrationRecord
 	// Dropped counts undeliverable messages.
@@ -201,6 +221,7 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 	}, hostsim.Hooks{
 		Run:     n.runOnHost,
 		Unowned: n.hostUnowned,
+		OnExec:  n.obsHostExec,
 	})
 
 	if cfg.NIC != nil {
@@ -227,9 +248,13 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 			scfg = *cfg.SchedOverride
 		}
 		hooks := sched.Hooks{
-			Run:     n.runOnNIC,
-			FwdTax:  func(b int) sim.Time { return cfg.NIC.FwdTax.Cost(b) },
-			Forward: n.forwardToHost,
+			Run:          n.runOnNIC,
+			FwdTax:       func(b int) sim.Time { return cfg.NIC.FwdTax.Cost(b) },
+			Forward:      n.forwardToHost,
+			OnExec:       n.obsSchedExec,
+			OnModeSwitch: n.obsModeSwitch,
+			OnMigrate:    n.obsMigrate,
+			OnAutoscale:  n.obsAutoscale,
 			Quantum: func(avg int) sim.Time {
 				if avg <= 0 {
 					avg = 512
@@ -250,6 +275,12 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 
 	c.nodes[cfg.Name] = n
 	c.Net.Attach(cfg.Name, link, n)
+	if c.tracer != nil {
+		n.enableTracing(c.tracer)
+	}
+	if c.collector != nil {
+		n.enableMetrics(c.collector)
+	}
 	return n
 }
 
@@ -316,7 +347,7 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 			m.Origin = pkt.Src
 		}
 		if n.Sched != nil {
-			n.Gate.Admit(func() { n.Sched.Arrive(m) })
+			n.Gate.Admit(m.FlowID, pkt.Size, func() { n.Sched.Arrive(m) })
 			return
 		}
 		// Baseline node: DPDK delivers straight to host cores after the

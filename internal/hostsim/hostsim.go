@@ -21,6 +21,9 @@ type Hooks struct {
 	// Unowned handles a message whose target actor is not host-resident
 	// (e.g. it migrated back to the NIC mid-flight). Optional.
 	Unowned func(m actor.Msg)
+	// OnExec observes each completed execution (tracing/metrics).
+	// Optional; must be passive — it may not mutate scheduler state.
+	OnExec func(coreID int, a *actor.Actor, m actor.Msg, start, end sim.Time)
 }
 
 // Config sizes the host.
@@ -242,11 +245,15 @@ func (c *hcore) step() {
 // was exclusively held.
 func (c *hcore) exec(a *actor.Actor, m actor.Msg) {
 	h := c.h
+	start := h.eng.Now()
 	service := h.cfg.PollCost + h.hooks.Run(a, m)
 	c.occupy(service, func() {
 		c.Executed++
 		h.Completed++
 		a.Observe(h.eng.Now()-m.ArrivedAt, service, m.WireSize)
+		if h.hooks.OnExec != nil {
+			h.hooks.OnExec(c.id, a, m, start, h.eng.Now())
+		}
 		if next, ok := a.Mailbox.Pop(); ok {
 			c.exec(a, next)
 			return

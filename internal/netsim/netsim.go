@@ -7,7 +7,9 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -69,6 +71,9 @@ type Network struct {
 	LossRate float64
 	// Lost counts packets dropped by injected loss.
 	Lost uint64
+
+	tracer  *obs.Tracer
+	groupOf func(node string) obs.GroupID
 }
 
 type port struct {
@@ -76,6 +81,12 @@ type port struct {
 	up      *link // node → switch
 	down    *link // switch → node
 	handler Handler
+
+	// Trace tracks for the two link directions (obs.NoTrack when tracing
+	// is off — the zero TrackID is a real track, so these must be
+	// initialized explicitly).
+	txTrack obs.TrackID
+	rxTrack obs.TrackID
 }
 
 // DefaultSwitchLatency is a typical ToR port-to-port latency.
@@ -97,12 +108,46 @@ func (n *Network) Attach(name string, gbps float64, h Handler) {
 		panic(fmt.Sprintf("netsim: node %q attached twice", name))
 	}
 	prop := 300 * sim.Nanosecond // NIC MAC + cable
-	n.nodes[name] = &port{
+	p := &port{
 		name:    name,
 		up:      newLink(n.eng, gbps, prop),
 		down:    newLink(n.eng, gbps, prop),
 		handler: h,
+		txTrack: obs.NoTrack,
+		rxTrack: obs.NoTrack,
 	}
+	n.nodes[name] = p
+	if n.tracer != nil {
+		n.tracePort(p)
+	}
+}
+
+// EnableTracing registers one trace track per link direction for every
+// attached node, and for every node attached afterwards. group maps a
+// node name to its trace group. Already-attached ports are visited in
+// sorted name order so track numbering — and hence the trace bytes —
+// does not depend on map iteration order; later Attach calls register in
+// program order, which is equally deterministic.
+func (n *Network) EnableTracing(tr *obs.Tracer, group func(node string) obs.GroupID) {
+	if !tr.Enabled() {
+		return
+	}
+	n.tracer = tr
+	n.groupOf = group
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n.tracePort(n.nodes[name])
+	}
+}
+
+func (n *Network) tracePort(p *port) {
+	g := n.groupOf(p.name)
+	p.txTrack = n.tracer.NewTrack(g, "link tx")
+	p.rxTrack = n.tracer.NewTrack(g, "link rx")
 }
 
 // SetHandler replaces the receive handler for a node (used when a
@@ -157,14 +202,18 @@ func (n *Network) Send(pkt *Packet) {
 	wire := spec.SerializationDelay(src.up.gbps, pkt.Size)
 	src.up.station.Submit(&sim.Job{
 		Service: wire,
-		Done: func(_, _, _ sim.Time) {
+		Done: func(enq, started, fin sim.Time) {
+			n.tracer.Span(src.txTrack, "frame", started, fin,
+				obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 			// Propagation to switch, then queue on the downlink after
 			// the switch fabric delay.
 			n.eng.After(src.up.propagation+n.SwitchLatency, func() {
 				down := spec.SerializationDelay(dst.down.gbps, pkt.Size)
 				dst.down.station.Submit(&sim.Job{
 					Service: down,
-					Done: func(_, _, _ sim.Time) {
+					Done: func(enq, started, fin sim.Time) {
+						n.tracer.Span(dst.rxTrack, "frame", started, fin,
+							obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 						n.eng.After(dst.down.propagation, func() {
 							n.Delivered++
 							if dst.handler != nil {

@@ -8,7 +8,9 @@ package nicsim
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -22,11 +24,14 @@ type TrafficGate struct {
 	perPkt  sim.Time
 
 	Admitted uint64
+
+	tracer *obs.Tracer
+	track  obs.TrackID
 }
 
 // NewTrafficGate builds a gate for the model's PPSCap.
 func NewTrafficGate(eng *sim.Engine, m *spec.NICModel) *TrafficGate {
-	g := &TrafficGate{eng: eng}
+	g := &TrafficGate{eng: eng, track: obs.NoTrack}
 	if m.PPSCap > 0 {
 		g.perPkt = sim.Time(1e9 / m.PPSCap)
 		g.station = sim.NewStation(eng, 1)
@@ -34,15 +39,30 @@ func NewTrafficGate(eng *sim.Engine, m *spec.NICModel) *TrafficGate {
 	return g
 }
 
+// EnableTracing records the gate's pipeline occupancy as a "traffic mgr"
+// lane in the given trace group.
+func (g *TrafficGate) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
+	if !tr.Enabled() {
+		return
+	}
+	g.tracer = tr
+	g.track = tr.NewTrack(group, "traffic mgr")
+}
+
 // Admit passes a packet through the gate; deliver runs when the packet
-// clears the pipeline stage.
-func (g *TrafficGate) Admit(deliver func()) {
+// clears the pipeline stage. flow and bytes annotate the trace span (a
+// transparent gate emits no span — there is no occupancy to show).
+func (g *TrafficGate) Admit(flow uint64, bytes int, deliver func()) {
 	g.Admitted++
 	if g.station == nil {
 		deliver()
 		return
 	}
-	g.station.Submit(&sim.Job{Service: g.perPkt, Done: func(_, _, _ sim.Time) { deliver() }})
+	g.station.Submit(&sim.Job{Service: g.perPkt, Done: func(enq, started, fin sim.Time) {
+		g.tracer.Span(g.track, "admit", started, fin,
+			obs.Args{Req: flow, HasReq: flow != 0, Bytes: bytes, Wait: started - enq})
+		deliver()
+	}})
 }
 
 // AccelBank is the NIC's set of domain-specific accelerator units. Each
@@ -50,23 +70,43 @@ func (g *TrafficGate) Admit(deliver func()) {
 // invoking core waits for completion, as the paper observes (§2.2.3:
 // "invoking an accelerator is not free since the NIC core has to wait").
 type AccelBank struct {
-	eng   *sim.Engine
-	units map[string]*accelUnit
+	eng    *sim.Engine
+	units  map[string]*accelUnit
+	tracer *obs.Tracer
 }
 
 type accelUnit struct {
 	prof    spec.AccelProfile
 	station *sim.Station
 	Invokes uint64
+	track   obs.TrackID
 }
 
 // NewAccelBank instantiates the model's accelerators.
 func NewAccelBank(eng *sim.Engine, m *spec.NICModel) *AccelBank {
 	b := &AccelBank{eng: eng, units: map[string]*accelUnit{}}
 	for name, prof := range m.Accels {
-		b.units[name] = &accelUnit{prof: prof, station: sim.NewStation(eng, 1)}
+		b.units[name] = &accelUnit{prof: prof, station: sim.NewStation(eng, 1), track: obs.NoTrack}
 	}
 	return b
+}
+
+// EnableTracing registers one lane per accelerator unit in the given
+// group. Units are registered in sorted name order so track numbering
+// does not depend on map iteration order.
+func (b *AccelBank) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
+	if !tr.Enabled() {
+		return
+	}
+	b.tracer = tr
+	names := make([]string, 0, len(b.units))
+	for name := range b.units {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.units[name].track = tr.NewTrack(group, "accel "+name)
+	}
 }
 
 // Has reports whether the bank has a unit by that name.
@@ -105,7 +145,9 @@ func (b *AccelBank) Invoke(name string, bytes, batch int, done func()) (sim.Time
 	}
 	u := b.units[name]
 	u.Invokes++
-	u.station.Submit(&sim.Job{Service: cost, Done: func(_, _, _ sim.Time) {
+	u.station.Submit(&sim.Job{Service: cost, Done: func(enq, started, fin sim.Time) {
+		b.tracer.Span(u.track, name, started, fin,
+			obs.Args{Bytes: bytes, Wait: started - enq})
 		if done != nil {
 			done()
 		}
@@ -156,7 +198,7 @@ func NewEchoServer(eng *sim.Engine, m *spec.NICModel, n int) *EchoServer {
 // Receive handles one arriving frame of the given size.
 func (e *EchoServer) Receive(size int) {
 	arrived := e.eng.Now()
-	e.gate.Admit(func() {
+	e.gate.Admit(0, size, func() {
 		service := e.model.EchoCost.Cost(size) + e.ExtraLatency
 		e.cores.Submit(&sim.Job{Service: service, Done: func(_, _, fin sim.Time) {
 			e.Echoed++

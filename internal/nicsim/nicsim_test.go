@@ -114,7 +114,7 @@ func TestTrafficGateTransparentWithoutCap(t *testing.T) {
 	m := spec.LiquidIOII_CN2350() // PPSCap == 0
 	g := NewTrafficGate(eng, m)
 	delivered := false
-	g.Admit(func() { delivered = true })
+	g.Admit(0, 0, func() { delivered = true })
 	if !delivered {
 		t.Fatal("transparent gate should deliver synchronously")
 	}

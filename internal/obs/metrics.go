@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Metric kinds within a Registry.
+const (
+	kindCounter uint8 = iota
+	kindGauge
+	kindHist
+)
+
+type regItem struct {
+	name string
+	kind uint8
+	c    func() uint64
+	g    func() float64
+	h    *Histogram
+}
+
+// Registry is a named, ordered set of metrics belonging to one entity
+// (typically one node). Metrics are sampled — counters and gauges are
+// closures over live state — so registration costs nothing on the hot
+// path; all cost is paid at snapshot time.
+//
+// Register all metrics before the first snapshot: snapshots pair values
+// with items by index, so the item list must only grow append-only.
+type Registry struct {
+	name  string
+	items []regItem
+	seen  map[string]bool
+}
+
+// NewRegistry creates an empty registry. Prefer Collector.Registry,
+// which also enrolls it for periodic snapshotting.
+func NewRegistry(name string) *Registry {
+	return &Registry{name: name, seen: map[string]bool{}}
+}
+
+// Name returns the registry's name (the "reg" field of NDJSON records).
+func (r *Registry) Name() string { return r.name }
+
+func (r *Registry) add(it regItem) {
+	if r.seen[it.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q in registry %q", it.name, r.name))
+	}
+	r.seen[it.name] = true
+	r.items = append(r.items, it)
+}
+
+// Counter registers a monotonically-increasing value sampled via f.
+func (r *Registry) Counter(name string, f func() uint64) {
+	r.add(regItem{name: name, kind: kindCounter, c: f})
+}
+
+// Gauge registers an instantaneous value sampled via f.
+func (r *Registry) Gauge(name string, f func() float64) {
+	r.add(regItem{name: name, kind: kindGauge, g: f})
+}
+
+// Histogram registers and returns a new histogram under the given name.
+// The caller feeds it with Observe; snapshots emit count/mean/p50/p99/max.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.add(regItem{name: name, kind: kindHist, h: h})
+	return h
+}
+
+// histBuckets gives 4 buckets per octave across ~2^-10 .. 2^14, enough
+// resolution for microsecond-scale latencies spanning ns..tens of ms.
+const histBuckets = 96
+
+// histBucketBase is the exponent offset: bucket i covers values v with
+// floor(4*log2(v)) == i - histBucketBase.
+const histBucketBase = 40
+
+// Histogram is a log-bucketed streaming histogram (4 buckets/octave).
+// Quantiles are approximate (bucket upper bound); count, mean and max
+// are exact. It is deliberately fixed-size and allocation-free.
+type Histogram struct {
+	n       uint64
+	sum     float64
+	max     float64
+	buckets [histBuckets]uint64
+}
+
+// Observe folds in one sample. Non-positive samples land in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[histBucket(v)]++
+}
+
+func histBucket(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := int(math.Floor(4*math.Log2(v))) + histBucketBase
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean (0 before any samples).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest sample (0 before any samples).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-th quantile (q in [0,1]) as the upper bound of
+// the bucket holding the q·n-th sample; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			// Upper bound of bucket i: 2^((i+1-base)/4).
+			ub := math.Pow(2, float64(i+1-histBucketBase)/4)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// histSnap is a histogram's frozen summary inside a snapshot.
+type histSnap struct {
+	count          uint64
+	mean, p50, p99 float64
+	max            float64
+}
+
+// value is one metric's frozen value inside a snapshot.
+type value struct {
+	u uint64
+	f float64
+	h histSnap
+}
+
+type snapshot struct {
+	at   sim.Time
+	reg  int
+	vals []value
+}
+
+// Collector schedules periodic snapshots of its registries on a
+// simulation engine and buffers the records for NDJSON export.
+//
+// The tick is self-limiting: after sampling, it reschedules only while
+// the engine still has other pending events, so an Engine.Run() drains
+// normally once the simulation itself goes quiet. Sampling is read-only
+// — it never mutates simulation state or consumes randomness — so
+// enabling metrics cannot change simulation results.
+type Collector struct {
+	eng      *sim.Engine
+	interval sim.Time
+	regs     []*Registry
+	snaps    []snapshot
+	started  bool
+}
+
+// DefaultMetricsInterval is the default snapshot spacing (sim time).
+const DefaultMetricsInterval = 100 * sim.Microsecond
+
+// NewCollector creates a collector sampling every interval of virtual
+// time (0 uses DefaultMetricsInterval).
+func NewCollector(eng *sim.Engine, interval sim.Time) *Collector {
+	if interval <= 0 {
+		interval = DefaultMetricsInterval
+	}
+	return &Collector{eng: eng, interval: interval}
+}
+
+// Interval returns the snapshot spacing.
+func (c *Collector) Interval() sim.Time { return c.interval }
+
+// Registry creates a registry enrolled with this collector. Names should
+// be unique; duplicate names produce distinguishable NDJSON records only
+// by order, so don't.
+func (c *Collector) Registry(name string) *Registry {
+	r := NewRegistry(name)
+	c.regs = append(c.regs, r)
+	return r
+}
+
+// Enroll adds an externally-created registry.
+func (c *Collector) Enroll(r *Registry) { c.regs = append(c.regs, r) }
+
+// Start schedules the periodic sampling. Idempotent.
+func (c *Collector) Start() {
+	if c == nil || c.started {
+		return
+	}
+	c.started = true
+	c.eng.After(c.interval, c.tick)
+}
+
+func (c *Collector) tick() {
+	c.Snapshot()
+	// Reschedule only while the simulation itself still has work; the
+	// collector must not keep an otherwise-drained engine alive forever.
+	if c.eng.Pending() == 0 {
+		return
+	}
+	c.eng.After(c.interval, c.tick)
+}
+
+// Snapshot samples every registry once, immediately. The CLIs call it
+// after the run for a final end-state record.
+func (c *Collector) Snapshot() {
+	if c == nil {
+		return
+	}
+	now := c.eng.Now()
+	for ri, r := range c.regs {
+		vals := make([]value, len(r.items))
+		for i, it := range r.items {
+			switch it.kind {
+			case kindCounter:
+				vals[i].u = it.c()
+			case kindGauge:
+				vals[i].f = it.g()
+			case kindHist:
+				vals[i].h = histSnap{
+					count: it.h.Count(),
+					mean:  it.h.Mean(),
+					p50:   it.h.Quantile(0.50),
+					p99:   it.h.Quantile(0.99),
+					max:   it.h.Max(),
+				}
+			}
+		}
+		c.snaps = append(c.snaps, snapshot{at: now, reg: ri, vals: vals})
+	}
+}
+
+// Snapshots reports the number of buffered snapshot records.
+func (c *Collector) Snapshots() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.snaps)
+}

@@ -1,0 +1,169 @@
+// Package obs is the observability layer of the reproduction: a
+// span-based request tracer and a metrics registry for the simulated
+// iPipe substrates (links, NIC cores, scheduler, DMA engines, host
+// cores).
+//
+// The paper's analysis (§2 characterization, §3.2.3 scheduler behaviour,
+// Figures 11–15) hinges on *where time goes* as a request crosses
+// link → NIC cores → scheduler → DMA → host. The tracer records that
+// journey as spans keyed on virtual time (sim.Time, never wall clock),
+// so traces are as deterministic as the simulation itself: identical
+// seeds produce byte-identical trace files.
+//
+// Design rules:
+//
+//   - Disabled means free. Every emit method is nil-safe: a nil *Tracer
+//     returns immediately, allocating nothing. Instrumentation sites
+//     call unconditionally and pay one predictable branch.
+//   - Observation never perturbs. The tracer schedules no events and
+//     touches no PRNG; simulation results with tracing on are identical
+//     to results with it off (enforced by tests).
+//   - Export is deterministic. Track and group numbering follow
+//     registration order; events are stably sorted by (track, start)
+//     before writing, so every track's timestamps are monotonic.
+//
+// Track layout: groups map to Chrome trace "processes" (one per node,
+// plus one per client port), tracks to "threads" (one per NIC core,
+// host core, link direction, DMA engine, accelerator unit, plus a
+// "sched" lane for instantaneous scheduler decisions).
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// GroupID identifies a trace group (a Chrome trace "process"; one per
+// simulated node).
+type GroupID int32
+
+// TrackID identifies one horizontal lane of the trace (a Chrome trace
+// "thread": one core, one link direction, one DMA engine...).
+type TrackID int32
+
+// NoGroup/NoTrack are returned by registration on a nil tracer; emitting
+// against them is a no-op.
+const (
+	NoGroup GroupID = -1
+	NoTrack TrackID = -1
+)
+
+// Args carries optional span annotations. It is passed by value so the
+// disabled path allocates nothing.
+type Args struct {
+	// Req is the request-correlation id (the message/packet FlowID);
+	// only emitted when HasReq is set, since 0 is a valid id.
+	Req    uint64
+	HasReq bool
+	// Bytes annotates the payload size; emitted when > 0.
+	Bytes int
+	// Wait annotates queueing delay spent before the span started
+	// (enqueue → service); emitted when > 0.
+	Wait sim.Time
+}
+
+// span is one completed occupancy interval on a track.
+type span struct {
+	track TrackID
+	name  string
+	start sim.Time
+	end   sim.Time
+	args  Args
+}
+
+// instant is a point event on a track (scheduler decisions: mode
+// switches, migrations, autoscaling moves).
+type instant struct {
+	track TrackID
+	name  string
+	at    sim.Time
+}
+
+type trackInfo struct {
+	group GroupID
+	name  string
+}
+
+// Tracer buffers spans in memory until exported. Buffering is unbounded
+// by design — traces are an offline debugging artifact, bounded by the
+// (finite) simulated window, exactly like Chrome's own tracing.
+//
+// The zero value is not useful; construct with NewTracer. A nil *Tracer
+// is the disabled tracer: every method no-ops.
+type Tracer struct {
+	groups  []string
+	gindex  map[string]GroupID
+	tracks  []trackInfo
+	spans   []span
+	instants []instant
+}
+
+// NewTracer returns an empty, enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{gindex: map[string]GroupID{}}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Group registers (or finds) a trace group by name. Groups render as
+// processes in chrome://tracing / Perfetto; use one per node.
+func (t *Tracer) Group(name string) GroupID {
+	if t == nil {
+		return NoGroup
+	}
+	if g, ok := t.gindex[name]; ok {
+		return g
+	}
+	g := GroupID(len(t.groups))
+	t.groups = append(t.groups, name)
+	t.gindex[name] = g
+	return g
+}
+
+// NewTrack registers a lane within a group. Lane order in the viewer
+// follows registration order.
+func (t *Tracer) NewTrack(g GroupID, name string) TrackID {
+	if t == nil || g < 0 {
+		return NoTrack
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, trackInfo{group: g, name: name})
+	return id
+}
+
+// Span records a completed occupancy [start, end] on a track. Calls on a
+// nil tracer or against NoTrack are free.
+func (t *Tracer) Span(tr TrackID, name string, start, end sim.Time, a Args) {
+	if t == nil || tr < 0 {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.spans = append(t.spans, span{track: tr, name: name, start: start, end: end, args: a})
+}
+
+// Instant records a point event on a track (a scheduler decision, a
+// migration phase boundary).
+func (t *Tracer) Instant(tr TrackID, name string, at sim.Time) {
+	if t == nil || tr < 0 {
+		return
+	}
+	t.instants = append(t.instants, instant{track: tr, name: name, at: at})
+}
+
+// Spans reports the number of buffered spans (instants excluded).
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Tracks reports the number of registered tracks.
+func (t *Tracer) Tracks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.tracks)
+}

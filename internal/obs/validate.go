@@ -1,0 +1,166 @@
+// Validation of emitted artifacts, used by `make trace-smoke` (via
+// cmd/ipipe-trace) and by tests: a trace file must be well-formed
+// trace_event JSON with monotonically ordered timestamps per track, and
+// a metrics file must be well-formed NDJSON.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent mirrors the subset of the trace_event schema we emit.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int64           `json:"pid"`
+	Tid  int64           `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	Events    int // all events, metadata included
+	Spans     int // "X" complete events
+	Instants  int // "i" events
+	Processes int // distinct pids with a process_name
+	Tracks    int // distinct (pid, tid) lanes carrying spans or instants
+}
+
+// ValidateChromeTrace parses a trace_event JSON document and checks the
+// invariants the exporter promises:
+//
+//   - well-formed JSON with a traceEvents array,
+//   - every event has a known phase (M, X, or i) and pid/tid,
+//   - "X" events have non-negative ts and dur,
+//   - per (pid, tid) lane, "X" timestamps are monotonically
+//     non-decreasing (spans on one track never go back in time),
+//   - every pid carrying spans has a process_name, and every lane a
+//     thread_name.
+func ValidateChromeTrace(r io.Reader) (TraceStats, error) {
+	var st TraceStats
+	var doc chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return st, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+
+	type lane struct{ pid, tid int64 }
+	lastTs := map[lane]float64{}
+	namedProc := map[int64]bool{}
+	namedLane := map[lane]bool{}
+	usedProc := map[int64]bool{}
+	usedLane := map[lane]bool{}
+
+	for i, ev := range doc.TraceEvents {
+		st.Events++
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				namedProc[ev.Pid] = true
+			case "thread_name":
+				namedLane[lane{ev.Pid, ev.Tid}] = true
+			case "thread_sort_index":
+				// layout hint only
+			default:
+				return st, fmt.Errorf("trace: event %d: unknown metadata %q", i, ev.Name)
+			}
+		case "X":
+			st.Spans++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return st, fmt.Errorf("trace: event %d (%q): negative ts/dur", i, ev.Name)
+			}
+			l := lane{ev.Pid, ev.Tid}
+			if prev, ok := lastTs[l]; ok && ev.Ts < prev {
+				return st, fmt.Errorf("trace: event %d (%q): ts %.3f before %.3f on pid=%d tid=%d",
+					i, ev.Name, ev.Ts, prev, ev.Pid, ev.Tid)
+			}
+			lastTs[l] = ev.Ts
+			usedProc[ev.Pid] = true
+			usedLane[l] = true
+		case "i":
+			st.Instants++
+			if ev.Ts < 0 {
+				return st, fmt.Errorf("trace: event %d (%q): negative ts", i, ev.Name)
+			}
+			usedProc[ev.Pid] = true
+			usedLane[lane{ev.Pid, ev.Tid}] = true
+		default:
+			return st, fmt.Errorf("trace: event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	for pid := range usedProc {
+		if !namedProc[pid] {
+			return st, fmt.Errorf("trace: pid %d carries events but has no process_name", pid)
+		}
+	}
+	for l := range usedLane {
+		if !namedLane[l] {
+			return st, fmt.Errorf("trace: pid %d tid %d carries events but has no thread_name", l.pid, l.tid)
+		}
+	}
+	st.Processes = len(namedProc)
+	st.Tracks = len(usedLane)
+	return st, nil
+}
+
+// MetricsStats summarizes a validated metrics file.
+type MetricsStats struct {
+	Records    int
+	Registries int
+}
+
+// ValidateMetricsNDJSON checks a metric-snapshot file: every line is a
+// JSON object with a non-negative t_us, a reg name, and a metrics
+// object, and per registry t_us is monotonically non-decreasing.
+func ValidateMetricsNDJSON(r io.Reader) (MetricsStats, error) {
+	var st MetricsStats
+	last := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec struct {
+			TUs     float64                    `json:"t_us"`
+			Reg     string                     `json:"reg"`
+			Metrics map[string]json.RawMessage `json:"metrics"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return st, fmt.Errorf("metrics: line %d: %w", line, err)
+		}
+		if rec.TUs < 0 {
+			return st, fmt.Errorf("metrics: line %d: negative t_us", line)
+		}
+		if rec.Reg == "" {
+			return st, fmt.Errorf("metrics: line %d: missing reg", line)
+		}
+		if rec.Metrics == nil {
+			return st, fmt.Errorf("metrics: line %d: missing metrics object", line)
+		}
+		if prev, ok := last[rec.Reg]; ok && rec.TUs < prev {
+			return st, fmt.Errorf("metrics: line %d: t_us %.3f before %.3f for reg %q",
+				line, rec.TUs, prev, rec.Reg)
+		}
+		last[rec.Reg] = rec.TUs
+		st.Records++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("metrics: %w", err)
+	}
+	st.Registries = len(last)
+	return st, nil
+}

@@ -15,6 +15,7 @@
 package pcie
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -38,11 +39,24 @@ type Engine struct {
 	BytesRead       uint64
 	BytesWritten    uint64
 	GatherTransfers uint64
+
+	tracer *obs.Tracer
+	track  obs.TrackID
 }
 
 // New creates a DMA engine with the given profile.
 func New(eng *sim.Engine, prof spec.DMAProfile) *Engine {
-	return &Engine{eng: eng, prof: prof, station: sim.NewStation(eng, 1)}
+	return &Engine{eng: eng, prof: prof, station: sim.NewStation(eng, 1), track: obs.NoTrack}
+}
+
+// EnableTracing records the engine's byte-transfer occupancy as a "dma"
+// lane in the given trace group.
+func (e *Engine) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
+	if !tr.Enabled() {
+		return
+	}
+	e.tracer = tr
+	e.track = tr.NewTrack(group, "dma")
 }
 
 // Profile returns the engine's cost profile.
@@ -51,8 +65,8 @@ func (e *Engine) Profile() spec.DMAProfile { return e.prof }
 // op submits a transfer and fires done when the completion word would be
 // observed. latency is the unloaded completion latency for this op; the
 // engine occupancy is the byte-transfer time, so contention adds
-// queueing on top of the unloaded latency.
-func (e *Engine) op(bytes int, latency sim.Time, done func()) {
+// queueing on top of the unloaded latency. name labels the trace span.
+func (e *Engine) op(name string, bytes int, latency sim.Time, done func()) {
 	transfer := e.prof.TransferTime(bytes)
 	overhead := latency - transfer
 	if overhead < 0 {
@@ -60,7 +74,9 @@ func (e *Engine) op(bytes int, latency sim.Time, done func()) {
 	}
 	e.station.Submit(&sim.Job{
 		Service: transfer,
-		Done: func(_, _, _ sim.Time) {
+		Done: func(enq, started, fin sim.Time) {
+			e.tracer.Span(e.track, name, started, fin,
+				obs.Args{Bytes: bytes, Wait: started - enq})
 			if done == nil {
 				return
 			}
@@ -77,7 +93,7 @@ func (e *Engine) ReadBlocking(bytes int, done func()) sim.Time {
 	e.Reads++
 	e.BytesRead += uint64(bytes)
 	lat := e.prof.ReadLatency(bytes)
-	e.op(bytes, lat, done)
+	e.op("read", bytes, lat, done)
 	return lat
 }
 
@@ -86,7 +102,7 @@ func (e *Engine) WriteBlocking(bytes int, done func()) sim.Time {
 	e.Writes++
 	e.BytesWritten += uint64(bytes)
 	lat := e.prof.WriteLatency(bytes)
-	e.op(bytes, lat, done)
+	e.op("write", bytes, lat, done)
 	return lat
 }
 
@@ -96,7 +112,7 @@ func (e *Engine) WriteBlocking(bytes int, done func()) sim.Time {
 func (e *Engine) ReadAsync(bytes int, done func()) sim.Time {
 	e.Reads++
 	e.BytesRead += uint64(bytes)
-	e.op(bytes, e.prof.ReadLatency(bytes), done)
+	e.op("read async", bytes, e.prof.ReadLatency(bytes), done)
 	return IssueOccupancy
 }
 
@@ -104,7 +120,7 @@ func (e *Engine) ReadAsync(bytes int, done func()) sim.Time {
 func (e *Engine) WriteAsync(bytes int, done func()) sim.Time {
 	e.Writes++
 	e.BytesWritten += uint64(bytes)
-	e.op(bytes, e.prof.WriteLatency(bytes), done)
+	e.op("write async", bytes, e.prof.WriteLatency(bytes), done)
 	return IssueOccupancy
 }
 

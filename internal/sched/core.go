@@ -36,7 +36,11 @@ func newCore(s *Scheduler, id int) *core {
 }
 
 func (c *core) setMode(m Mode) {
+	from := c.mode
 	c.mode = m
+	if from != m && c.s.hooks.OnAutoscale != nil {
+		c.s.hooks.OnAutoscale(c.id, from, m)
+	}
 	c.kick()
 }
 
@@ -134,9 +138,13 @@ func (c *core) stepFCFS() {
 	switch {
 	case !resident || a.State == actor.Gone || a.State == actor.Clean:
 		// Host-bound traffic (or an actor that just left): forward.
+		start := s.eng.Now()
 		c.occupy(tax, func() {
 			s.Forwarded++
 			s.observeFCFS(m)
+			if s.hooks.OnExec != nil {
+				s.hooks.OnExec(c.id, FCFS, nil, m, start, s.eng.Now())
+			}
 			if s.hooks.Forward != nil {
 				s.hooks.Forward(m)
 			}
@@ -186,6 +194,7 @@ func (c *core) stepFCFS() {
 // parked on the actor while it was exclusively held.
 func (c *core) execFCFS(a *actor.Actor, m actor.Msg, tax sim.Time) {
 	s := c.s
+	start := s.eng.Now()
 	service := tax + s.cfg.ExtraDispatch + s.hooks.Run(a, m)
 	c.occupy(service, func() {
 		c.Executed++
@@ -193,8 +202,14 @@ func (c *core) execFCFS(a *actor.Actor, m actor.Msg, tax sim.Time) {
 		sojourn := s.eng.Now() - m.ArrivedAt
 		a.Observe(sojourn, service, m.WireSize)
 		s.observeFCFS(m)
-		// ALG 1 lines 13–16: downgrade on tail breach.
-		if s.cfg.TailThresh > 0 && s.fcfsStats.Tail() > s.cfg.TailThresh {
+		if s.hooks.OnExec != nil {
+			s.hooks.OnExec(c.id, FCFS, a, m, start, s.eng.Now())
+		}
+		// ALG 1 lines 13–16: downgrade on tail breach. The group tail is
+		// degenerate below two samples (stats.EWMA.Ready) — without the
+		// guard the very first completion, whose "tail" is just its own
+		// sojourn, could evict an actor the population never implicated.
+		if s.cfg.TailThresh > 0 && s.fcfsStats.Ready() && s.fcfsStats.Tail() > s.cfg.TailThresh {
 			s.downgrade()
 		}
 		if a.State == actor.Stable && !a.InDRR {
@@ -267,6 +282,7 @@ func (c *core) stepDRR() {
 		}
 		m, _ := a.Mailbox.Pop()
 		a.Deficit -= est
+		start := s.eng.Now()
 		service := s.hooks.Run(a, m)
 		c.occupy(s.cfg.ScanCost+service, func() {
 			a.Release()
@@ -274,8 +290,16 @@ func (c *core) stepDRR() {
 			s.Completed++
 			sojourn := s.eng.Now() - m.ArrivedAt
 			a.Observe(sojourn, service, m.WireSize)
-			// ALG 2 lines 10–12: upgrade on tail recovery.
+			if s.hooks.OnExec != nil {
+				s.hooks.OnExec(c.id, DRR, a, m, start, s.eng.Now())
+			}
+			// ALG 2 lines 10–12: upgrade on tail recovery. A truly empty
+			// FCFS group (zero samples) has no tail problem and may accept
+			// the actor back; but with exactly one sample Tail collapses to
+			// the bare mean, which is not evidence of recovery — hold off
+			// until the estimate is Ready().
 			if !s.cfg.AllDRR && s.cfg.TailThresh > 0 &&
+				(s.fcfsStats.Count() == 0 || s.fcfsStats.Ready()) &&
 				s.fcfsStats.Tail() < (1-s.cfg.Alpha)*s.cfg.TailThresh {
 				s.upgrade()
 			}
@@ -288,6 +312,9 @@ func (c *core) stepDRR() {
 				s.lastMigration = s.eng.Now()
 				s.PushMigrations++
 				a.State = actor.Prepare
+				if s.hooks.OnMigrate != nil {
+					s.hooks.OnMigrate(a, true)
+				}
 				s.hooks.PushToHost(a)
 			}
 			c.step()

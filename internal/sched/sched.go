@@ -86,6 +86,26 @@ type Hooks struct {
 	// PullFromHost asks the runtime to bring the least-loaded host actor
 	// back; it reports whether a pull was initiated. Optional.
 	PullFromHost func() bool
+
+	// Observability callbacks, consumed by internal/obs through the node
+	// runtime. All are optional (nil-safe) and must be passive: they may
+	// record what happened but must not mutate scheduler state, or runs
+	// stop being reproducible with observation off.
+
+	// OnExec observes every completed core operation: an actor execution
+	// (a non-nil) or the forwarding of host-bound traffic (a nil).
+	// start/end bound the core occupancy; m.ArrivedAt gives queueing.
+	OnExec func(coreID int, mode Mode, a *actor.Actor, m actor.Msg, start, end sim.Time)
+	// OnModeSwitch observes an actor moving between scheduling
+	// disciplines: a downgrade (to == DRR) or an upgrade (to == FCFS).
+	OnModeSwitch func(a *actor.Actor, to Mode)
+	// OnMigrate observes a migration decision: push == true when an
+	// actor is pushed NIC→host (a is the victim), false when a pull
+	// host→NIC was initiated (a nil: the runtime picks the actor).
+	OnMigrate func(a *actor.Actor, push bool)
+	// OnAutoscale observes a core changing group (FCFS↔DRR), whether by
+	// the autoscaler, DRR-core spawning, or collapse.
+	OnAutoscale func(coreID int, from, to Mode)
 }
 
 // Config carries the scheduler thresholds (§3.2.3: set from the NIC's
@@ -272,6 +292,9 @@ func (s *Scheduler) maybeUpgrade() {
 			s.drrDequeue(a)
 			a.InDRR = false
 			s.Upgrades++
+			if s.hooks.OnModeSwitch != nil {
+				s.hooks.OnModeSwitch(a, FCFS)
+			}
 			for _, m := range a.Mailbox.Drain() {
 				s.queue.push(m)
 			}
@@ -343,6 +366,9 @@ func (s *Scheduler) FCFSTail() float64 { return s.fcfsStats.Tail() }
 
 // FCFSMean returns the FCFS group's mean sojourn estimate (µs).
 func (s *Scheduler) FCFSMean() float64 { return s.fcfsStats.Mean() }
+
+// NumCores returns the total number of NIC cores (including a dispatcher).
+func (s *Scheduler) NumCores() int { return len(s.cores) }
 
 // CoreModes returns the number of cores in the FCFS and DRR groups
 // (an IOKernel dispatcher core belongs to neither).
@@ -461,6 +487,9 @@ func (s *Scheduler) downgrade() {
 	victim.Deficit = 0
 	s.drrRunnable = append(s.drrRunnable, victim)
 	s.Downgrades++
+	if s.hooks.OnModeSwitch != nil {
+		s.hooks.OnModeSwitch(victim, DRR)
+	}
 	s.ensureDRRCore()
 }
 
@@ -503,6 +532,9 @@ func (s *Scheduler) upgrade() {
 	s.drrDequeue(a)
 	a.InDRR = false
 	s.Upgrades++
+	if s.hooks.OnModeSwitch != nil {
+		s.hooks.OnModeSwitch(a, FCFS)
+	}
 	// Drain its mailbox back through the shared queue so FCFS cores
 	// serve the backlog.
 	for _, m := range a.Mailbox.Drain() {
@@ -653,6 +685,9 @@ func (s *Scheduler) maybeMigrate() {
 			s.lastMigration = s.eng.Now()
 			s.PushMigrations++
 			a.State = actor.Prepare
+			if s.hooks.OnMigrate != nil {
+				s.hooks.OnMigrate(a, true)
+			}
 			s.hooks.PushToHost(a)
 			return
 		}
@@ -665,6 +700,9 @@ func (s *Scheduler) maybeMigrate() {
 			if s.hooks.PullFromHost() {
 				s.lastMigration = s.eng.Now()
 				s.PullMigrations++
+				if s.hooks.OnMigrate != nil {
+					s.hooks.OnMigrate(nil, false)
+				}
 			} else {
 				s.migrationInFlight = false
 			}

@@ -46,10 +46,24 @@ func (e *EWMA) Observe(x float64) {
 func (e *EWMA) Mean() float64 { return e.mean }
 
 // Std returns the current estimate of the standard deviation.
+//
+// The estimate is degenerate below two samples: with zero samples it is
+// 0 by construction, and with one sample the variance recurrence has not
+// yet folded in a single deviation, so Std is still exactly 0. Callers
+// gating decisions on dispersion (the scheduler's tail thresholds) must
+// check Ready() first or they will act on a tail estimate that collapses
+// to the bare mean — or to 0 — on the first monitor tick.
 func (e *EWMA) Std() float64 { return math.Sqrt(e.vari) }
 
-// Tail returns µ+3σ, the paper's running approximation of P99.
+// Tail returns µ+3σ, the paper's running approximation of P99. Like
+// Std, it is degenerate below two samples: 0 with no samples, the bare
+// first sample with one. Gate on Ready() before comparing Tail against
+// a threshold.
 func (e *EWMA) Tail() float64 { return e.mean + 3*e.Std() }
+
+// Ready reports whether enough samples (≥ 2) have been observed for
+// Std/Tail to carry any dispersion information at all.
+func (e *EWMA) Ready() bool { return e.n >= 2 }
 
 // Count returns the number of samples observed.
 func (e *EWMA) Count() uint64 { return e.n }

@@ -22,6 +22,44 @@ func TestEWMAConstantInput(t *testing.T) {
 	}
 }
 
+// TestEWMADegenerateBeforeTwoSamples is the regression test for the
+// documented Std/Tail contract: before two samples the dispersion
+// estimate carries no information (Std 0, Tail collapsed to the mean),
+// and Ready() is the guard callers must use before acting on it.
+func TestEWMADegenerateBeforeTwoSamples(t *testing.T) {
+	e := NewEWMA(0.1)
+	if e.Ready() {
+		t.Fatal("Ready with 0 samples")
+	}
+	if e.Std() != 0 || e.Tail() != 0 || e.Mean() != 0 {
+		t.Fatalf("zero-sample estimates not zero: std=%v tail=%v mean=%v", e.Std(), e.Tail(), e.Mean())
+	}
+	e.Observe(42)
+	if e.Ready() {
+		t.Fatal("Ready with 1 sample")
+	}
+	if e.Std() != 0 {
+		t.Fatalf("one-sample Std = %v, want 0", e.Std())
+	}
+	if e.Tail() != e.Mean() || e.Tail() != 42 {
+		t.Fatalf("one-sample Tail = %v, want bare mean 42", e.Tail())
+	}
+	e.Observe(10)
+	if !e.Ready() {
+		t.Fatal("not Ready with 2 samples")
+	}
+	if e.Std() <= 0 {
+		t.Fatalf("two distinct samples but Std = %v", e.Std())
+	}
+	if e.Tail() <= e.Mean() {
+		t.Fatalf("Tail %v not above mean %v with dispersion present", e.Tail(), e.Mean())
+	}
+	e.Reset()
+	if e.Ready() {
+		t.Fatal("Ready after Reset")
+	}
+}
+
 func TestEWMAConverges(t *testing.T) {
 	e := NewEWMA(0.1)
 	e.Observe(0)

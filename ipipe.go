@@ -38,6 +38,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/workload"
@@ -74,6 +75,12 @@ type (
 	HostModel = spec.HostModel
 	// MigrationRecord reports a push migration's phase timings.
 	MigrationRecord = core.MigrationRecord
+	// Tracer records cross-layer request spans; export with
+	// WriteChromeTrace and open in chrome://tracing or Perfetto.
+	Tracer = obs.Tracer
+	// Collector snapshots cluster metrics on a virtual-time interval;
+	// export with WriteNDJSON.
+	Collector = obs.Collector
 )
 
 // Virtual-time units.
@@ -90,6 +97,20 @@ func NewCluster(seed uint64) *Cluster { return core.NewCluster(seed) }
 // NewClient attaches a load generator to the cluster's network.
 func NewClient(c *Cluster, name string, gbps float64) *Client {
 	return workload.NewClient(c, name, gbps)
+}
+
+// NewTracer creates a request tracer; attach it with Cluster.EnableTracing
+// before registering workload traffic.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsCollector creates a metrics collector sampling the cluster
+// every interval of virtual time (0 uses the default, 100µs). Attach it
+// with Cluster.EnableMetrics and call Start before Eng.Run.
+func NewMetricsCollector(c *Cluster, interval Duration) *Collector {
+	if interval <= 0 {
+		interval = obs.DefaultMetricsInterval
+	}
+	return obs.NewCollector(c.Eng, interval)
 }
 
 // The four characterized SmartNIC models (Table 1).
