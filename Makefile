@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race: the concurrency gate for the engine hot path and the parallel
-# sweep runner (includes the serial-vs-parallel parity test).
+# race: the concurrency gate for the engine hot path, the parallel
+# sweep runner (includes the serial-vs-parallel parity test), and the
+# fault-injection / recovery suites.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/bench/...
+	$(GO) test -race ./internal/sim/... ./internal/bench/... \
+		./internal/fault/... ./internal/deploy/... ./internal/core/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -25,9 +27,20 @@ trace-smoke:
 	$(GO) run ./cmd/ipipe-trace check /tmp/ipipe-trace-smoke.json
 	$(GO) run ./cmd/ipipe-trace check-metrics /tmp/ipipe-metrics-smoke.ndjson
 
+# fault-smoke: run the availability experiment under the default fault
+# schedule with tracing on, validate the trace artifact, and confirm the
+# injected faults appear as spans on the dedicated faults lanes.
+fault-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick -trace /tmp/ipipe-fault-smoke.json \
+		faults-availability >/dev/null
+	$(GO) run ./cmd/ipipe-trace check /tmp/ipipe-fault-smoke.json
+	@grep -q '"crash kv0"' /tmp/ipipe-fault-smoke.json || \
+		{ echo "fault-smoke: no fault span in trace" >&2; exit 1; }
+	@echo "fault-smoke: fault spans present"
+
 # check: the CI step — static analysis, the race suite, and the
-# observability smoke test.
-check: vet race trace-smoke
+# observability smoke tests.
+check: vet race trace-smoke fault-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

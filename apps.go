@@ -7,39 +7,96 @@ import (
 	"repro/internal/apps/rkv"
 	"repro/internal/apps/rta"
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/nstack"
 )
 
 // This file re-exports the three distributed applications of §4 (and
-// the §5.7 network functions) behind deployment helpers, so examples
-// and downstream users can stand up the paper's workloads in a few
-// lines.
+// the §5.7 network functions) behind the spec-based deployment API, so
+// examples and downstream users can stand up the paper's workloads in a
+// few lines. Each application deploys from a spec struct — RKVSpec,
+// DTSpec, RTASpec, FirewallSpec, IPSecSpec — sharing the Placement /
+// RetryPolicy / FailoverPolicy vocabulary and an optional fault
+// schedule (see fault.go). The former positional Deploy* helpers remain
+// as deprecated wrappers.
+
+// Shared deployment-policy vocabulary.
+type (
+	// Placement says where an application's offloadable actors run.
+	Placement = deploy.Placement
+	// RetryPolicy is the client-side timeout/retry/backoff policy.
+	RetryPolicy = deploy.RetryPolicy
+	// FailoverPolicy configures the RKV leader-failover monitor.
+	FailoverPolicy = deploy.FailoverPolicy
+)
+
+// OnNIC / OnHost are the two common placements.
+var (
+	OnNIC  = deploy.NIC
+	OnHost = deploy.Host
+)
+
+// DefaultRetry returns the client policy sized for a leader election or
+// a lossy-link window: 500µs initial timeout, 8 retries, doubling to a
+// 4ms cap.
+func DefaultRetry() RetryPolicy { return deploy.DefaultRetry() }
 
 // --- Replicated key-value store (Multi-Paxos + LSM) -------------------
 
 // RKV aliases for the replicated key-value store.
 type (
-	// RKVDeployment is a deployed replica group.
+	// RKVSpec deploys a replica group: Spec.Deploy() replaces the old
+	// positional DeployRKV.
+	RKVSpec = deploy.RKVSpec
+	// RKVApp is a deployed replica group plus its recovery machinery
+	// (failover monitor, fault injector).
+	RKVApp = deploy.RKV
+	// RKVDeployment is the raw replica group.
 	RKVDeployment = rkv.Deployment
 	// RKVReplica is one replica's actor set.
 	RKVReplica = rkv.Replica
+	// RKVStatus is the typed status byte of RKV responses.
+	RKVStatus = rkv.Status
 )
 
-// RKV message kinds and helpers.
+// RKV message kinds.
 const (
 	RKVKindReq   = rkv.KindReq
-	RKVStatusOK  = rkv.StatusOK
-	RKVNotFound  = rkv.StatusNotFound
-	RKVRedirect  = rkv.StatusRedirect
 	RKVKindElect = rkv.KindElect
 )
 
+// RKV response statuses (typed; see RKVStatusOf).
+const (
+	RKVStatusOK       = rkv.StatusOK
+	RKVStatusNotFound = rkv.StatusNotFound
+	RKVStatusRedirect = rkv.StatusRedirect
+)
+
+// Deprecated: use RKVStatusNotFound / RKVStatusRedirect.
+const (
+	RKVNotFound = rkv.StatusNotFound
+	RKVRedirect = rkv.StatusRedirect
+)
+
+// RKVStatusOf reads the typed status byte of a response payload.
+func RKVStatusOf(p []byte) RKVStatus { return rkv.StatusOf(p) }
+
 // DeployRKV registers the four RKV actor kinds on each node; the first
-// node starts as Paxos leader. memLimit is the Memtable size that
-// triggers minor compaction; onNIC offloads consensus and Memtable
-// actors to the SmartNIC where available.
+// node starts as Paxos leader.
+//
+// Deprecated: build an RKVSpec and call its Deploy method; the spec
+// form also carries retry/failover policies and a fault schedule.
 func DeployRKV(nodes []*Node, baseID ActorID, memLimit int, onNIC bool) (*RKVDeployment, error) {
-	return rkv.Deploy(nodes, baseID, memLimit, onNIC)
+	d, err := RKVSpec{
+		Nodes:     nodes,
+		BaseID:    baseID,
+		MemLimit:  memLimit,
+		Placement: Placement{OnNIC: onNIC},
+	}.Deploy()
+	if err != nil {
+		return nil, err
+	}
+	return d.Deployment, nil
 }
 
 // RKVPut / RKVGet / RKVDel build client request payloads.
@@ -55,6 +112,12 @@ func RKVDel(key []byte) []byte { return rkv.DelReq(key) }
 
 // DT aliases for the transaction system.
 type (
+	// DTSpec deploys the transaction system: Spec.Deploy() replaces the
+	// old positional DeployDT.
+	DTSpec = deploy.DTSpec
+	// DTApp is a deployed transaction system (coordinator, stores,
+	// fault injector).
+	DTApp = deploy.DT
 	// DTCoordinator drives the four-phase protocol.
 	DTCoordinator = dt.Coordinator
 	// DTStore is a participant's extensible hash table.
@@ -63,53 +126,65 @@ type (
 	DTTxn = dt.Txn
 	// DTOp is one read or write operation.
 	DTOp = dt.Op
+	// DTOutcome is the typed outcome byte of transaction responses.
+	DTOutcome = dt.Outcome
 )
 
-// DT message kinds and outcomes.
+// DTKindTxn is the client-facing message kind.
+const DTKindTxn = dt.KindTxn
+
+// DT transaction outcomes (typed; see DTOutcomeOf).
 const (
-	DTKindTxn   = dt.KindTxn
+	DTOutcomeCommitted = dt.OutcomeCommitted
+	DTOutcomeAborted   = dt.OutcomeAborted
+)
+
+// Deprecated: use DTOutcomeCommitted / DTOutcomeAborted.
+const (
 	DTCommitted = dt.OutcomeCommitted
 	DTAborted   = dt.OutcomeAborted
 )
 
+// DTOutcomeOf reads the typed outcome byte of a response payload.
+func DTOutcomeOf(p []byte) DTOutcome { return dt.OutcomeOf(p) }
+
 // DeployDT registers a transaction coordinator (plus host logging
-// actor) on coordNode and one participant per entry of partNodes.
-// Returned stores expose each participant's data for inspection.
+// actor) on coordNode and one participant per entry of partNodes. It
+// returns an error when partNodes is empty — such a coordinator could
+// never commit anything.
+//
+// Deprecated: build a DTSpec and call its Deploy method; the spec form
+// also arms the coordinator sweep (TxnTimeout) and lock leases.
 func DeployDT(coordNode *Node, partNodes []*Node, baseID ActorID, onNIC bool) (*DTCoordinator, []*DTStore, error) {
-	var partIDs []actor.ID
-	var stores []*dt.Store
-	for i, n := range partNodes {
-		st := dt.NewStore()
-		id := baseID + 1 + ActorID(i)
-		if err := n.Register(dt.NewParticipant(id, st), onNIC, 0); err != nil {
-			return nil, nil, err
-		}
-		partIDs = append(partIDs, id)
-		stores = append(stores, st)
-	}
-	loggerID := baseID + 1 + ActorID(len(partNodes))
-	if err := coordNode.Register(dt.NewLogger(loggerID, nil), false, 0); err != nil {
+	d, err := DTSpec{
+		Coordinator:  coordNode,
+		Participants: partNodes,
+		BaseID:       baseID,
+		Placement:    Placement{OnNIC: onNIC},
+	}.Deploy()
+	if err != nil {
 		return nil, nil, err
 	}
-	coord := dt.NewCoordinator(baseID, partIDs, loggerID)
-	if err := coordNode.Register(coord.Actor, onNIC, 0); err != nil {
-		return nil, nil, err
-	}
-	return coord, stores, nil
+	return d.Coord, d.Stores, nil
 }
 
 // DTEncodeTxn / DTDecodeOutcome translate between transactions and wire
 // payloads.
 func DTEncodeTxn(t DTTxn) []byte { return dt.EncodeTxn(t) }
 
-// DTDecodeOutcome splits a client response into outcome byte and read
+// DTDecodeOutcome splits a client response into typed outcome and read
 // values.
-func DTDecodeOutcome(p []byte) (byte, map[string][]byte) { return dt.DecodeOutcome(p) }
+func DTDecodeOutcome(p []byte) (DTOutcome, map[string][]byte) { return dt.DecodeOutcome(p) }
 
 // --- Real-time analytics ------------------------------------------------
 
 // RTA aliases.
 type (
+	// RTASpec deploys the analytics pipeline: Spec.Deploy() replaces
+	// the old positional DeployRTA.
+	RTASpec = deploy.RTASpec
+	// RTAApp is a deployed pipeline.
+	RTAApp = deploy.RTA
 	// RTATopology wires filter → counter → ranker → aggregator.
 	RTATopology = rta.Topology
 	// RTAEntry is one ranked token.
@@ -122,26 +197,22 @@ const RTAKindTuples = rta.KindTuples
 // DeployRTA registers a filter→counter→ranker pipeline on node,
 // forwarding consolidated top-n views to an aggregator actor created on
 // aggNode's host; onUpdate observes each consolidated view.
+//
+// Deprecated: build an RTASpec and call its Deploy method.
 func DeployRTA(node, aggNode *Node, baseID ActorID, discard []string, topN int, onNIC bool, onUpdate func([]RTAEntry)) (RTATopology, error) {
-	topo := RTATopology{
-		Filter:     baseID,
-		Counter:    baseID + 1,
-		Ranker:     baseID + 2,
-		Aggregator: baseID + 3,
+	d, err := RTASpec{
+		Node:       node,
+		Aggregator: aggNode,
+		BaseID:     baseID,
+		Discard:    discard,
+		TopN:       topN,
+		Placement:  Placement{OnNIC: onNIC},
+		OnUpdate:   onUpdate,
+	}.Deploy()
+	if err != nil {
+		return RTATopology{}, err
 	}
-	agg, _ := rta.NewAggregator(topo.Aggregator, topN, onUpdate)
-	if err := aggNode.Register(agg, false, 0); err != nil {
-		return topo, err
-	}
-	f, _ := rta.NewFilter(topo.Filter, topo, discard)
-	c, _ := rta.NewCounter(topo.Counter, topo, rta.CounterConfig{})
-	r, _ := rta.NewRanker(topo.Ranker, topo, topN)
-	for _, a := range []*Actor{f, c, r} {
-		if err := node.Register(a, onNIC, 0); err != nil {
-			return topo, err
-		}
-	}
-	return topo, nil
+	return d.Topology, nil
 }
 
 // RTAEncodeTuples packs tuples for a client request.
@@ -154,32 +225,59 @@ func RTADecodeCounts(p []byte) map[string]uint32 { return rta.DecodeCounts(p) }
 
 // NF aliases.
 type (
+	// FirewallSpec deploys a software-TCAM firewall actor.
+	FirewallSpec = deploy.FirewallSpec
+	// IPSecSpec deploys an IPSec gateway actor.
+	IPSecSpec = deploy.IPSecSpec
 	// FirewallRule is a wildcard TCAM entry.
 	FirewallRule = nf.Rule
 	// FiveTuple is the firewall classification key.
 	FiveTuple = nf.FiveTuple
+	// NFVerdict is the typed verdict byte of NF responses.
+	NFVerdict = nf.Verdict
 )
 
-// Firewall verdicts.
+// Firewall verdicts (typed; see NFVerdictOf).
+const (
+	NFVerdictAllow = nf.VerdictAllow
+	NFVerdictDeny  = nf.VerdictDeny
+)
+
+// Deprecated: use NFVerdictAllow / NFVerdictDeny.
 const (
 	NFAllow = nf.VerdictAllow
 	NFDeny  = nf.VerdictDeny
 )
 
+// NFVerdictOf reads the typed verdict byte of a response payload.
+func NFVerdictOf(p []byte) NFVerdict { return nf.VerdictOf(p) }
+
 // DeployFirewall registers a software-TCAM firewall actor on the node.
+//
+// Deprecated: build a FirewallSpec and call its Deploy method.
 func DeployFirewall(node *Node, id ActorID, rules []FirewallRule, onNIC bool) error {
-	fw := nf.NewFirewall(id, nf.NewTCAM(rules))
-	return node.Register(fw, onNIC, 0)
+	_, err := FirewallSpec{
+		Node:      node,
+		ID:        id,
+		Rules:     rules,
+		Placement: Placement{OnNIC: onNIC},
+	}.Deploy()
+	return err
 }
 
 // DeployIPSec registers an IPSec gateway actor (AES-256-CTR + SHA-1,
 // accelerator-assisted on the NIC).
+//
+// Deprecated: build an IPSecSpec and call its Deploy method.
 func DeployIPSec(node *Node, id ActorID, key, macKey []byte, onNIC bool) error {
-	st, err := nf.NewIPSecState(key, macKey)
-	if err != nil {
-		return err
-	}
-	return node.Register(nf.NewIPSecGateway(id, st), onNIC, 0)
+	_, err := IPSecSpec{
+		Node:      node,
+		ID:        id,
+		Key:       key,
+		MACKey:    macKey,
+		Placement: Placement{OnNIC: onNIC},
+	}.Deploy()
+	return err
 }
 
 // UniformFirewallRules synthesizes n wildcard rules for experiments.
@@ -202,4 +300,7 @@ func Encap(src, dst NetAddr, payload []byte, ttl uint8) []byte {
 }
 
 // unexported compile-time checks that the facade stays wired.
-var _ = core.DefaultRegionBytes
+var (
+	_ = core.DefaultRegionBytes
+	_ = actor.Stable
+)

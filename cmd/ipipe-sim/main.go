@@ -118,7 +118,12 @@ func main() {
 		for i := 0; i < 3; i++ {
 			nodes = append(nodes, mkNode(fmt.Sprintf("kv%d", i)))
 		}
-		d, err := ipipe.DeployRKV(nodes, 100, 4<<20, offload)
+		d, err := ipipe.RKVSpec{
+			Nodes:     nodes,
+			BaseID:    100,
+			MemLimit:  4 << 20,
+			Placement: ipipe.Placement{OnNIC: offload},
+		}.Deploy()
 		if err != nil {
 			panic(err)
 		}
@@ -138,8 +143,12 @@ func main() {
 		coord := mkNode("coord")
 		p1, p2 := mkNode("part1"), mkNode("part2")
 		nodes = []*ipipe.Node{coord, p1, p2}
-		_, _, err := ipipe.DeployDT(coord, []*ipipe.Node{p1, p2}, 100, offload)
-		if err != nil {
+		if _, err := (ipipe.DTSpec{
+			Coordinator:  coord,
+			Participants: []*ipipe.Node{p1, p2},
+			BaseID:       100,
+			Placement:    ipipe.Placement{OnNIC: offload},
+		}).Deploy(); err != nil {
 			panic(err)
 		}
 		c = client()
@@ -157,10 +166,18 @@ func main() {
 	case "rta":
 		n := mkNode("worker")
 		nodes = []*ipipe.Node{n}
-		topo, err := ipipe.DeployRTA(n, n, 100, []string{"spam"}, 10, offload, nil)
+		rtaApp, err := ipipe.RTASpec{
+			Node:       n,
+			Aggregator: n,
+			BaseID:     100,
+			Discard:    []string{"spam"},
+			TopN:       10,
+			Placement:  ipipe.Placement{OnNIC: offload},
+		}.Deploy()
 		if err != nil {
 			panic(err)
 		}
+		topo := rtaApp.Topology
 		c = client()
 		words := []string{"alpha", "beta", "gamma", "delta", "spam", "zeta"}
 		drive(c, func(i uint64) ipipe.Request {
@@ -178,7 +195,12 @@ func main() {
 	case "nf":
 		n := mkNode("gw")
 		nodes = []*ipipe.Node{n}
-		if err := ipipe.DeployFirewall(n, 100, ipipe.UniformFirewallRules(8192), offload); err != nil {
+		if _, err := (ipipe.FirewallSpec{
+			Node:      n,
+			ID:        100,
+			Rules:     ipipe.UniformFirewallRules(8192),
+			Placement: ipipe.Placement{OnNIC: offload},
+		}).Deploy(); err != nil {
 			panic(err)
 		}
 		c = client()

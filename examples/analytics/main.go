@@ -20,12 +20,19 @@ func main() {
 	})
 
 	var lastTop []ipipe.RTAEntry
-	topo, err := ipipe.DeployRTA(node, node, 10,
-		[]string{"spam", "noise"}, 5, true,
-		func(top []ipipe.RTAEntry) { lastTop = top })
+	d, err := ipipe.RTASpec{
+		Node:       node,
+		Aggregator: node,
+		BaseID:     10,
+		Discard:    []string{"spam", "noise"},
+		TopN:       5,
+		Placement:  ipipe.OnNIC,
+		OnUpdate:   func(top []ipipe.RTAEntry) { lastTop = top },
+	}.Deploy()
 	if err != nil {
 		panic(err)
 	}
+	topo := d.Topology
 
 	words := []string{"go", "rust", "zig", "spam", "java", "python", "noise", "c"}
 	client := ipipe.NewClient(cl, "cli", 10)

@@ -24,7 +24,13 @@ func main() {
 
 	// Deploy with a 16KB Memtable so minor compactions happen during
 	// the short demo; the paper sized Memtables to NIC DRAM (≈32MB).
-	d, err := ipipe.DeployRKV(nodes, 100, 16<<10, true)
+	d, err := ipipe.RKVSpec{
+		Nodes:     nodes,
+		BaseID:    100,
+		MemLimit:  16 << 10,
+		Placement: ipipe.OnNIC,
+		Retry:     ipipe.DefaultRetry(),
+	}.Deploy()
 	if err != nil {
 		panic(err)
 	}
@@ -43,10 +49,10 @@ func main() {
 			Node: "kv0", Dst: leader, Kind: ipipe.RKVKindReq,
 			Data: data, Size: 512, FlowID: i,
 			OnResp: func(resp ipipe.Msg) {
-				switch resp.Data[0] {
+				switch ipipe.RKVStatusOf(resp.Data) {
 				case ipipe.RKVStatusOK:
 					ok++
-				case ipipe.RKVNotFound:
+				case ipipe.RKVStatusNotFound:
 					notFound++
 				}
 			},

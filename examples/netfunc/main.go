@@ -27,10 +27,15 @@ func main() {
 			Allow:    true,
 		},
 	}, ipipe.UniformFirewallRules(8192)...)
-	if err := ipipe.DeployFirewall(node, 1, rules, true); err != nil {
+	if _, err := (ipipe.FirewallSpec{
+		Node: node, ID: 1, Rules: rules, Placement: ipipe.OnNIC,
+	}).Deploy(); err != nil {
 		panic(err)
 	}
-	if err := ipipe.DeployIPSec(node, 2, make([]byte, 32), []byte("gateway-mac-key"), true); err != nil {
+	if _, err := (ipipe.IPSecSpec{
+		Node: node, ID: 2, Key: make([]byte, 32),
+		MACKey: []byte("gateway-mac-key"), Placement: ipipe.OnNIC,
+	}).Deploy(); err != nil {
 		panic(err)
 	}
 
@@ -54,7 +59,7 @@ func main() {
 				client.Send(ipipe.Request{
 					Node: "gw", Dst: 1, Data: frame, Size: 1024, FlowID: uint64(i),
 					OnResp: func(resp ipipe.Msg) {
-						if resp.Data[0] == ipipe.NFAllow {
+						if ipipe.NFVerdictOf(resp.Data) == ipipe.NFVerdictAllow {
 							allowed++
 						} else {
 							denied++

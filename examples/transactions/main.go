@@ -17,10 +17,16 @@ func main() {
 	p1 := cl.AddNode(ipipe.NodeConfig{Name: "part1", NIC: ipipe.LiquidIOII_CN2350()})
 	p2 := cl.AddNode(ipipe.NodeConfig{Name: "part2", NIC: ipipe.LiquidIOII_CN2350()})
 
-	coord, stores, err := ipipe.DeployDT(coordNode, []*ipipe.Node{p1, p2}, 100, true)
+	d, err := ipipe.DTSpec{
+		Coordinator:  coordNode,
+		Participants: []*ipipe.Node{p1, p2},
+		BaseID:       100,
+		Placement:    ipipe.OnNIC,
+	}.Deploy()
 	if err != nil {
 		panic(err)
 	}
+	coord, stores := d.Coord, d.Stores
 
 	client := ipipe.NewClient(cl, "cli", 10)
 	// The §5.1 transaction shape: two reads and one write per txn, with
@@ -43,10 +49,10 @@ func main() {
 			Node: "coord", Dst: 100, Kind: ipipe.DTKindTxn,
 			Data: ipipe.DTEncodeTxn(txn), Size: 512, FlowID: i,
 			OnResp: func(resp ipipe.Msg) {
-				switch resp.Data[0] {
-				case ipipe.DTCommitted:
+				switch ipipe.DTOutcomeOf(resp.Data) {
+				case ipipe.DTOutcomeCommitted:
 					committed++
-				case ipipe.DTAborted:
+				case ipipe.DTOutcomeAborted:
 					aborted++
 				}
 			},

@@ -3,6 +3,7 @@ package dt
 import (
 	"bytes"
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/actor"
 	"repro/internal/sim"
@@ -30,13 +31,40 @@ const (
 	// KindCheckpoint carries a full coordinator-log object to the
 	// host logging actor (§4: issued when the log reaches its limit).
 	KindCheckpoint
+	// KindSweep asks the coordinator to abort in-flight transactions
+	// older than its TxnTimeout (injected periodically by the deployment
+	// layer; a recovery path, not part of the client protocol).
+	KindSweep
 )
 
-// Outcome codes returned to the client in the first response byte.
+// Outcome is the transaction verdict returned to the client in the
+// first response byte.
+type Outcome byte
+
+// Outcome codes.
 const (
-	OutcomeCommitted byte = 1
-	OutcomeAborted   byte = 2
+	OutcomeCommitted Outcome = 1
+	OutcomeAborted   Outcome = 2
 )
+
+// String names the outcome for logs and experiment output.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	}
+	return "invalid"
+}
+
+// OutcomeOf reads the outcome byte of a client response (0 on empty).
+func OutcomeOf(p []byte) Outcome {
+	if len(p) == 0 {
+		return 0
+	}
+	return Outcome(p[0])
+}
 
 // logLimitBytes is the coordinator log capacity before checkpointing.
 const logLimitBytes = 1 << 16
@@ -96,10 +124,32 @@ func (r *rbuf) more() bool { return len(r.p) > 0 }
 
 // --- participant -----------------------------------------------------
 
-// NewParticipant builds a participant actor over its own Store. Costs
-// are per-op hashtable charges consistent with Table 3's KV-cache
-// profile (≈1.2µs per lookup/update on the reference core).
+// DefaultLockLease bounds how long a write lock can be held without the
+// owning transaction completing. A coordinator that crashes mid-2PC
+// stops sending commits/aborts; the lease lets participants treat such
+// stale locks as released so the store is never left locked forever.
+const DefaultLockLease = 10 * sim.Millisecond
+
+// lockHeld reports whether a record's lock is still live: set, and (when
+// a lease is configured) younger than the lease.
+func lockHeld(rec *Record, now, lease sim.Time) bool {
+	if rec == nil || !rec.Locked {
+		return false
+	}
+	return lease <= 0 || now-rec.LockedAt < lease
+}
+
+// NewParticipant builds a participant actor over its own Store with the
+// DefaultLockLease. Costs are per-op hashtable charges consistent with
+// Table 3's KV-cache profile (≈1.2µs per lookup/update on the reference
+// core).
 func NewParticipant(id actor.ID, st *Store) *actor.Actor {
+	return NewParticipantLease(id, st, DefaultLockLease)
+}
+
+// NewParticipantLease is NewParticipant with an explicit lock lease
+// (≤ 0 disables expiry — locks are then held until commit/abort).
+func NewParticipantLease(id actor.ID, st *Store, lease sim.Time) *actor.Actor {
 	const opCost = 1200 * sim.Nanosecond
 	a := &actor.Actor{
 		ID:        id,
@@ -126,10 +176,11 @@ func NewParticipant(id actor.ID, st *Store) *actor.Actor {
 			for i := 0; i < nLock; i++ {
 				locks = append(locks, append([]byte(nil), r.blob()...))
 			}
-			// Abort fast if anything in R or W is already locked.
+			// Abort fast if anything in R or W is already locked (expired
+			// leases do not count: their owner is presumed dead).
 			for _, k := range append(append([][]byte{}, reads...), locks...) {
 				cost += opCost
-				if rec := st.Get(k); rec != nil && rec.Locked {
+				if lockHeld(st.Get(k), ctx.Now(), lease) {
 					ok = 0
 				}
 			}
@@ -142,6 +193,7 @@ func NewParticipant(id actor.ID, st *Store) *actor.Actor {
 						cost += opCost
 					}
 					rec.Locked = true
+					rec.LockedAt = ctx.Now()
 				}
 			}
 			w.u8(ok)
@@ -166,11 +218,10 @@ func NewParticipant(id actor.ID, st *Store) *actor.Actor {
 				cost += opCost
 				rec := st.Get(k)
 				cur := uint64(0)
-				locked := false
 				if rec != nil {
-					cur, locked = rec.Version, rec.Locked
+					cur = rec.Version
 				}
-				if locked || cur != ver {
+				if lockHeld(rec, ctx.Now(), lease) || cur != ver {
 					ok = 0
 				}
 			}
@@ -241,13 +292,18 @@ func NewLogger(id actor.ID, onCheckpoint func(bytes int)) *actor.Actor {
 // --- coordinator -------------------------------------------------------
 
 type txnState struct {
-	id       uint64
-	txn      Txn
-	client   actor.Msg
-	pending  int
-	failed   bool
-	readVers map[string]uint64
-	readVals map[string][]byte
+	id      uint64
+	txn     Txn
+	client  actor.Msg
+	pending int
+	failed  bool
+	// startedAt stamps arrival, for the sweep's staleness check.
+	startedAt sim.Time
+	// committed flips once the log append (the commit point) happens;
+	// the sweep must never abort such a transaction.
+	committed bool
+	readVers  map[string]uint64
+	readVals  map[string][]byte
 	// lockedAt are participants that hold our locks.
 	lockedAt map[actor.ID][]Op
 	// readAt are participants holding our read keys.
@@ -268,9 +324,17 @@ type Coordinator struct {
 	logObj    uint64
 	logOffset int
 
+	// TxnTimeout, when > 0, lets a KindSweep message abort in-flight
+	// transactions older than this (stuck because a participant died
+	// mid-protocol). Transactions past the commit point are finished as
+	// committed instead — the log entry is the truth.
+	TxnTimeout sim.Time
+
 	// Committed/Aborted count outcomes.
 	Committed uint64
 	Aborted   uint64
+	// TimeoutAborts counts aborts forced by the sweep.
+	TimeoutAborts uint64
 	// Checkpoints counts log-object migrations to the host.
 	Checkpoints uint64
 }
@@ -306,8 +370,44 @@ func (c *Coordinator) onMessage(ctx actor.Ctx, m actor.Msg) sim.Time {
 		return c.validateResp(ctx, m)
 	case KindCommitAck:
 		return c.commitAck(ctx, m)
+	case KindSweep:
+		return c.sweep(ctx)
 	}
 	return 200 * sim.Nanosecond
+}
+
+// sweep aborts in-flight transactions older than TxnTimeout: their
+// participants answered with a verdict that never completed (a death
+// mid-2PC drops messages on the floor). Pre-commit-point transactions
+// abort cleanly — lock-release messages go to every write-set
+// participant, reachable or not, and participant lock leases cover the
+// unreachable ones. Post-commit-point transactions finish as committed:
+// the log append already decided them.
+func (c *Coordinator) sweep(ctx actor.Ctx) sim.Time {
+	if c.TxnTimeout <= 0 {
+		return 200 * sim.Nanosecond
+	}
+	now := ctx.Now()
+	stale := make([]uint64, 0, len(c.inflight))
+	for id, st := range c.inflight {
+		if now-st.startedAt >= c.TxnTimeout {
+			stale = append(stale, id)
+		}
+	}
+	// Sorted: the abort fan-out order must not depend on map order.
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	cost := 300 * sim.Nanosecond
+	for _, id := range stale {
+		st := c.inflight[id]
+		if st.committed {
+			c.finish(ctx, st, OutcomeCommitted)
+		} else {
+			c.TimeoutAborts++
+			c.abort(ctx, st)
+		}
+		cost += 600 * sim.Nanosecond
+	}
+	return cost
 }
 
 func (c *Coordinator) startTxn(ctx actor.Ctx, m actor.Msg) sim.Time {
@@ -315,7 +415,7 @@ func (c *Coordinator) startTxn(ctx actor.Ctx, m actor.Msg) sim.Time {
 	if !ok {
 		c.Aborted++
 		resp := m
-		resp.Data = []byte{OutcomeAborted}
+		resp.Data = []byte{byte(OutcomeAborted)}
 		ctx.Reply(resp)
 		return 400 * sim.Nanosecond
 	}
@@ -323,6 +423,7 @@ func (c *Coordinator) startTxn(ctx actor.Ctx, m actor.Msg) sim.Time {
 	c.nextTxn++
 	st := &txnState{
 		id: id, txn: txn, client: m,
+		startedAt: ctx.Now(),
 		readVers: map[string]uint64{},
 		readVals: map[string][]byte{},
 		lockedAt: map[actor.ID][]Op{},
@@ -457,6 +558,7 @@ func (c *Coordinator) logAndCommit(ctx actor.Ctx, st *txnState) sim.Time {
 	}
 	ctx.ObjWrite(c.logObj, c.logOffset, e)
 	c.logOffset += len(e)
+	st.committed = true // commit point: the log entry decides the txn
 
 	// Phase 4: commit to write-set participants.
 	if len(st.lockedAt) == 0 {
@@ -512,7 +614,7 @@ func (c *Coordinator) abort(ctx actor.Ctx, st *txnState) {
 	c.finish(ctx, st, OutcomeAborted)
 }
 
-func (c *Coordinator) finish(ctx actor.Ctx, st *txnState, outcome byte) {
+func (c *Coordinator) finish(ctx actor.Ctx, st *txnState, outcome Outcome) {
 	delete(c.inflight, st.id)
 	if outcome == OutcomeCommitted {
 		c.Committed++
@@ -520,7 +622,7 @@ func (c *Coordinator) finish(ctx actor.Ctx, st *txnState, outcome byte) {
 		c.Aborted++
 	}
 	resp := st.client
-	resp.Data = append([]byte{outcome}, encodeReadResults(st)...)
+	resp.Data = append([]byte{byte(outcome)}, encodeReadResults(st)...)
 	ctx.Reply(resp)
 }
 
@@ -535,11 +637,11 @@ func encodeReadResults(st *txnState) []byte {
 }
 
 // DecodeOutcome splits a client response into outcome and read values.
-func DecodeOutcome(p []byte) (byte, map[string][]byte) {
+func DecodeOutcome(p []byte) (Outcome, map[string][]byte) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	out := p[0]
+	out := Outcome(p[0])
 	r := rbuf{p[1:]}
 	vals := map[string][]byte{}
 	for r.more() {

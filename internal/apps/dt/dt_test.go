@@ -142,7 +142,7 @@ func TestDecodeOutcome(t *testing.T) {
 	if out != 0 || vals != nil {
 		t.Fatal("empty outcome")
 	}
-	out, vals = DecodeOutcome([]byte{OutcomeCommitted})
+	out, vals = DecodeOutcome([]byte{byte(OutcomeCommitted)})
 	if out != OutcomeCommitted || len(vals) != 0 {
 		t.Fatalf("bare outcome: %d %v", out, vals)
 	}

@@ -10,13 +10,18 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/fnv"
+
+	"repro/internal/sim"
 )
 
-// Record is a versioned, lockable value.
+// Record is a versioned, lockable value. LockedAt stamps lock
+// acquisition so participants can expire locks whose owning coordinator
+// died mid-2PC (see DefaultLockLease).
 type Record struct {
-	Value   []byte
-	Version uint64
-	Locked  bool
+	Value    []byte
+	Version  uint64
+	Locked   bool
+	LockedAt sim.Time
 }
 
 // bucketCap is the extensible hash table's bucket capacity; overflowing
@@ -132,6 +137,26 @@ func (s *Store) Len() int {
 		if !seen[b] {
 			seen[b] = true
 			n += len(b.keys)
+		}
+	}
+	return n
+}
+
+// Locks counts records whose lock is live at time now under the given
+// lease (lease ≤ 0 counts every set lock flag, expired or not). The
+// recovery invariant after coordinator/participant failures is that
+// this reaches zero once in-flight transactions resolve.
+func (s *Store) Locks(now, lease sim.Time) int {
+	seen := map[*bucket]bool{}
+	n := 0
+	for _, b := range s.dir {
+		if !seen[b] {
+			seen[b] = true
+			for _, r := range b.recs {
+				if lockHeld(r, now, lease) {
+					n++
+				}
+			}
 		}
 	}
 	return n

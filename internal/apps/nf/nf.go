@@ -24,11 +24,34 @@ const (
 	KindPacket actor.Kind = iota + 64
 )
 
-// Verdicts returned in the first response byte.
+// Verdict is the classification result returned in the first response
+// byte.
+type Verdict byte
+
+// Verdicts.
 const (
-	VerdictAllow byte = 1
-	VerdictDeny  byte = 2
+	VerdictAllow Verdict = 1
+	VerdictDeny  Verdict = 2
 )
+
+// String names the verdict for logs and experiment output.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAllow:
+		return "allow"
+	case VerdictDeny:
+		return "deny"
+	}
+	return "invalid"
+}
+
+// VerdictOf reads the verdict byte of a response (0 on empty).
+func VerdictOf(p []byte) Verdict {
+	if len(p) == 0 {
+		return 0
+	}
+	return Verdict(p[0])
+}
 
 // FiveTuple is the classification key.
 type FiveTuple struct {
@@ -160,9 +183,9 @@ func NewFirewall(id actor.ID, tcam *TCAM) *actor.Actor {
 		allow, scanned := tcam.Match(tuple)
 		resp := m
 		if allow {
-			resp.Data = []byte{VerdictAllow}
+			resp.Data = []byte{byte(VerdictAllow)}
 		} else {
-			resp.Data = []byte{VerdictDeny}
+			resp.Data = []byte{byte(VerdictDeny)}
 		}
 		ctx.Reply(resp)
 		return 500*sim.Nanosecond + sim.Time(scanned)*1200*sim.Nanosecond/1000
@@ -237,7 +260,7 @@ func NewIPSecGateway(id actor.ID, st *IPSec) *actor.Actor {
 		seq := m.FlowID
 		sealed := st.Seal(seq, m.Data)
 		resp := m
-		resp.Data = append([]byte{VerdictAllow}, sealed...)
+		resp.Data = append([]byte{byte(VerdictAllow)}, sealed...)
 		ctx.Reply(resp)
 		n := len(m.Data)
 		if n == 0 {

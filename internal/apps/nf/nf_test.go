@@ -125,7 +125,7 @@ func TestFirewallActorVerdicts(t *testing.T) {
 	if len(ctx.replies) != 2 {
 		t.Fatalf("replies %d", len(ctx.replies))
 	}
-	if ctx.replies[0].Data[0] != VerdictAllow || ctx.replies[1].Data[0] != VerdictDeny {
+	if VerdictOf(ctx.replies[0].Data) != VerdictAllow || VerdictOf(ctx.replies[1].Data) != VerdictDeny {
 		t.Fatalf("verdicts: %v %v", ctx.replies[0].Data, ctx.replies[1].Data)
 	}
 }
@@ -197,7 +197,7 @@ func TestIPSecGatewayUsesAccelerators(t *testing.T) {
 	}
 	// Both replies carry valid ciphertext.
 	for i, r := range []actor.Msg{nic.replies[0], host.replies[0]} {
-		if r.Data[0] != VerdictAllow {
+		if VerdictOf(r.Data) != VerdictAllow {
 			t.Fatalf("reply %d verdict", i)
 		}
 		if _, ok := st.Open(uint64(i+1), r.Data[1:]); !ok {
@@ -218,7 +218,7 @@ func TestFirewallParsesRealFrames(t *testing.T) {
 	dst := nstack.Addr{IP: 0x0a000002, Port: 9000}
 	frame := nstack.Encap(src, dst, []byte("payload"), 64)
 	a.OnMessage(ctx, actor.Msg{Data: frame})
-	if len(ctx.replies) != 1 || ctx.replies[0].Data[0] != VerdictAllow {
+	if len(ctx.replies) != 1 || VerdictOf(ctx.replies[0].Data) != VerdictAllow {
 		t.Fatalf("real-frame classification failed: %v", ctx.replies)
 	}
 	// A corrupted frame (bad checksum) fails nstack parsing and — being

@@ -67,6 +67,7 @@ func Deploy(nodes []*core.Node, baseID actor.ID, memLimit int, onNIC bool) (*Dep
 		sst := NewSSTStore(0)
 		mt := NewMemtable(memID, memLimit, sstID, cmpID)
 		cons := NewConsensus(consID[k], peers, memID, k == 0)
+		cons.BallotOffset = uint64(k)
 		if err := n.Register(NewSSTReader(sstID, sst), false, 0); err != nil {
 			return nil, err
 		}

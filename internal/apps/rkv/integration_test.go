@@ -53,7 +53,7 @@ func TestWriteThenRead(t *testing.T) {
 	leader := d.LeaderActor()
 	var got []byte
 	put(client, leader, "hello", "world", func(resp actor.Msg) {
-		if resp.Data[0] != rkv.StatusOK {
+		if rkv.StatusOf(resp.Data) != rkv.StatusOK {
 			t.Errorf("put status %d", resp.Data[0])
 		}
 		get(client, leader, "hello", func(resp actor.Msg) {
@@ -61,7 +61,7 @@ func TestWriteThenRead(t *testing.T) {
 		})
 	})
 	cl.Eng.Run()
-	if len(got) == 0 || got[0] != rkv.StatusOK || string(got[1:]) != "world" {
+	if len(got) == 0 || rkv.StatusOf(got) != rkv.StatusOK || string(got[1:]) != "world" {
 		t.Fatalf("get returned %q", got)
 	}
 }
@@ -91,13 +91,13 @@ func TestWritesReplicateToFollowers(t *testing.T) {
 func TestDeleteReturnsNotFound(t *testing.T) {
 	cl, client, d := deployRKV(t, true, 1<<20)
 	leader := d.LeaderActor()
-	var status byte
+	var status rkv.Status
 	put(client, leader, "k", "v", func(actor.Msg) {
 		client.Send(workload.Request{
 			Node: "kv0", Dst: leader, Kind: rkv.KindReq,
 			Data: rkv.DelReq([]byte("k")), Size: 128,
 			OnResp: func(actor.Msg) {
-				get(client, leader, "k", func(resp actor.Msg) { status = resp.Data[0] })
+				get(client, leader, "k", func(resp actor.Msg) { status = rkv.StatusOf(resp.Data) })
 			},
 		})
 	})
@@ -140,7 +140,7 @@ func TestMinorCompactionAndSSTableRead(t *testing.T) {
 	var got []byte
 	get(client, leader, "key-000", func(resp actor.Msg) { got = resp.Data })
 	cl.Eng.Run()
-	if len(got) == 0 || got[0] != rkv.StatusOK || string(got[1:]) != "value-0000" {
+	if len(got) == 0 || rkv.StatusOf(got) != rkv.StatusOK || string(got[1:]) != "value-0000" {
 		t.Fatalf("SSTable read returned %q", got)
 	}
 	if lead.Memtable.Misses == 0 {
@@ -163,7 +163,7 @@ func TestZipfWorkloadMixedOps(t *testing.T) {
 		return workload.Request{
 			Node: "kv0", Dst: leader, Kind: rkv.KindReq, Data: data, Size: 512, FlowID: i,
 			OnResp: func(resp actor.Msg) {
-				switch resp.Data[0] {
+				switch rkv.StatusOf(resp.Data) {
 				case rkv.StatusOK:
 					ok++
 				case rkv.StatusNotFound:
@@ -211,11 +211,11 @@ func TestLeaderElection(t *testing.T) {
 	}
 	// New leader serves writes.
 	newLeader := d.Replicas[1].Consensus.Actor.ID
-	var status byte
+	var status rkv.Status
 	client.Send(workload.Request{
 		Node: "kv1", Dst: newLeader, Kind: rkv.KindReq,
 		Data: rkv.PutReq([]byte("post"), []byte("election")), Size: 256,
-		OnResp: func(resp actor.Msg) { status = resp.Data[0] },
+		OnResp: func(resp actor.Msg) { status = rkv.StatusOf(resp.Data) },
 	})
 	cl.Eng.Run()
 	if status != rkv.StatusOK {
@@ -230,11 +230,11 @@ func TestLeaderElection(t *testing.T) {
 func TestFollowerRedirectsWrites(t *testing.T) {
 	cl, client, d := deployRKV(t, true, 1<<20)
 	follower := d.Replicas[1].Consensus.Actor.ID
-	var status byte
+	var status rkv.Status
 	client.Send(workload.Request{
 		Node: "kv1", Dst: follower, Kind: rkv.KindReq,
 		Data: rkv.PutReq([]byte("k"), []byte("v")), Size: 128,
-		OnResp: func(resp actor.Msg) { status = resp.Data[0] },
+		OnResp: func(resp actor.Msg) { status = rkv.StatusOf(resp.Data) },
 	})
 	cl.Eng.Run()
 	if status != rkv.StatusRedirect {
@@ -250,7 +250,7 @@ func TestRKVOnBaseline(t *testing.T) {
 		get(client, leader, "base", func(resp actor.Msg) { got = resp.Data })
 	})
 	cl.Eng.Run()
-	if len(got) == 0 || got[0] != rkv.StatusOK || string(got[1:]) != "line" {
+	if len(got) == 0 || rkv.StatusOf(got) != rkv.StatusOK || string(got[1:]) != "line" {
 		t.Fatalf("baseline RKV broken: %q", got)
 	}
 	_ = d

@@ -38,12 +38,38 @@ const (
 	OpDel
 )
 
-// Response status codes (first byte of the client response).
+// Status is the response status code (first byte of the client
+// response). A typed code keeps RKV statuses out of the shared byte
+// namespace of the other applications' outcomes.
+type Status byte
+
+// Response status codes.
 const (
-	StatusOK       byte = 1
-	StatusNotFound byte = 2
-	StatusRedirect byte = 3 // not the leader
+	StatusOK       Status = 1
+	StatusNotFound Status = 2
+	StatusRedirect Status = 3 // not the leader
 )
+
+// String names the status for logs and experiment output.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusRedirect:
+		return "redirect"
+	}
+	return "invalid"
+}
+
+// StatusOf extracts the status from a client response payload.
+func StatusOf(p []byte) Status {
+	if len(p) == 0 {
+		return 0
+	}
+	return Status(p[0])
+}
 
 // Cmd is one key-value command.
 type Cmd struct {
@@ -376,12 +402,12 @@ func NewMemtable(id actor.ID, limitBytes int, sstReader, compactor actor.ID) *Me
 			case found && tomb:
 				mt.Hits++
 				resp := m
-				resp.Data = []byte{StatusNotFound}
+				resp.Data = []byte{byte(StatusNotFound)}
 				ctx.Reply(resp)
 			case found:
 				mt.Hits++
 				resp := m
-				resp.Data = append([]byte{StatusOK}, v...)
+				resp.Data = append([]byte{byte(StatusOK)}, v...)
 				ctx.Reply(resp)
 			default:
 				// Miss: forward to the SSTable read actor, Reply intact.
@@ -434,9 +460,9 @@ func NewSSTReader(id actor.ID, store *SSTStore) *actor.Actor {
 		v, found := store.Lookup(cmd.Key)
 		resp := m
 		if found {
-			resp.Data = append([]byte{StatusOK}, v...)
+			resp.Data = append([]byte{byte(StatusOK)}, v...)
 		} else {
-			resp.Data = []byte{StatusNotFound}
+			resp.Data = []byte{byte(StatusNotFound)}
 		}
 		ctx.Reply(resp)
 		// Each level probe costs a (cached) storage read.

@@ -197,7 +197,7 @@ func TestMemtableActorGetHitMissAndApply(t *testing.T) {
 	}
 	// Hit.
 	mt.Actor.OnMessage(ctx, msgWith(KindGet, EncodeCmd(Cmd{Op: OpGet, Key: []byte("k")}), reply))
-	if len(lastReply) == 0 || lastReply[0] != StatusOK || string(lastReply[1:]) != "v" {
+	if len(lastReply) == 0 || StatusOf(lastReply) != StatusOK || string(lastReply[1:]) != "v" {
 		t.Fatalf("get hit reply %q", lastReply)
 	}
 	if mt.Hits != 1 {
@@ -206,7 +206,7 @@ func TestMemtableActorGetHitMissAndApply(t *testing.T) {
 	// Tombstone.
 	mt.Actor.OnMessage(ctx, msgWith(KindApply, EncodeCmd(Cmd{Op: OpDel, Key: []byte("k")}), nil))
 	mt.Actor.OnMessage(ctx, msgWith(KindGet, EncodeCmd(Cmd{Op: OpGet, Key: []byte("k")}), reply))
-	if lastReply[0] != StatusNotFound {
+	if StatusOf(lastReply) != StatusNotFound {
 		t.Fatalf("get after delete reply %q", lastReply)
 	}
 }

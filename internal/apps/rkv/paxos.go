@@ -2,6 +2,7 @@ package rkv
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/actor"
 	"repro/internal/sim"
@@ -35,11 +36,16 @@ type Consensus struct {
 
 	// IsLeader marks the distinguished proposer.
 	IsLeader bool
-	ballot   uint64
-	promised uint64
-	log      map[uint64]*instState
-	next     uint64 // next instance to allocate (leader)
-	applied  uint64 // low-water mark of applied instances
+	// BallotOffset is this replica's residue in the ballot space: replica
+	// k of an n-replica group elects only with ballots ≡ k (mod n), so
+	// concurrent candidates can never collide on a ballot number. Deploy
+	// sets it to the replica index.
+	BallotOffset uint64
+	ballot       uint64
+	promised     uint64
+	log          map[uint64]*instState
+	next         uint64 // next instance to allocate (leader)
+	applied      uint64 // low-water mark of applied instances
 
 	// Election bookkeeping.
 	electing  bool
@@ -91,6 +97,17 @@ func NewConsensus(id actor.ID, peers []actor.ID, memtable actor.ID, leader bool)
 
 func (c *Consensus) majority() int { return (len(c.peers)+1)/2 + 1 }
 
+// sortedLog returns the log's instance numbers in ascending order, so
+// payloads built by iterating the log are byte-deterministic.
+func (c *Consensus) sortedLog() []uint64 {
+	insts := make([]uint64, 0, len(c.log))
+	for inst := range c.log {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	return insts
+}
+
 func (c *Consensus) onMessage(ctx actor.Ctx, m actor.Msg) sim.Time {
 	switch m.Kind {
 	case KindReq:
@@ -116,7 +133,7 @@ func (c *Consensus) clientReq(ctx actor.Ctx, m actor.Msg) sim.Time {
 	cmd, ok := DecodeCmd(m.Data)
 	if !ok {
 		resp := m
-		resp.Data = []byte{StatusNotFound}
+		resp.Data = []byte{byte(StatusNotFound)}
 		ctx.Reply(resp)
 		return 300 * sim.Nanosecond
 	}
@@ -132,7 +149,7 @@ func (c *Consensus) clientReq(ctx actor.Ctx, m actor.Msg) sim.Time {
 	if !c.IsLeader {
 		c.Redirects++
 		resp := m
-		resp.Data = []byte{StatusRedirect}
+		resp.Data = []byte{byte(StatusRedirect)}
 		ctx.Reply(resp)
 		return 400 * sim.Nanosecond
 	}
@@ -156,6 +173,7 @@ func (c *Consensus) accept(ctx actor.Ctx, m actor.Msg) sim.Time {
 	if !ok || ballot < c.promised {
 		return 300 * sim.Nanosecond
 	}
+	c.stepDown(ballot)
 	st := c.log[inst]
 	if st == nil {
 		st = &instState{}
@@ -201,7 +219,7 @@ func (c *Consensus) commit(ctx actor.Ctx, inst uint64, st *instState) {
 	}
 	if st.client.Reply != nil {
 		resp := st.client
-		resp.Data = []byte{StatusOK}
+		resp.Data = []byte{byte(StatusOK)}
 		ctx.Reply(resp)
 		st.client = actor.Msg{}
 	}
@@ -213,6 +231,7 @@ func (c *Consensus) learn(ctx actor.Ctx, m actor.Msg) sim.Time {
 	if !ok {
 		return 200 * sim.Nanosecond
 	}
+	c.stepDown(ballot)
 	st := c.log[inst]
 	if st == nil {
 		st = &instState{}
@@ -232,6 +251,24 @@ func (c *Consensus) learn(ctx actor.Ctx, m actor.Msg) sim.Time {
 	return 600 * sim.Nanosecond
 }
 
+// stepDown demotes a (possibly restarted) stale leader that observes a
+// higher ballot in live protocol traffic: a new leader was elected while
+// this replica was crashed or partitioned, so it must stop proposing and
+// redirect clients until it wins an election of its own.
+func (c *Consensus) stepDown(ballot uint64) {
+	if ballot <= c.ballot {
+		return
+	}
+	if ballot > c.promised {
+		c.promised = ballot
+	}
+	c.ballot = ballot
+	if c.IsLeader || c.electing {
+		c.IsLeader = false
+		c.electing = false
+	}
+}
+
 // StartElection begins the two-phase leader election on this replica
 // (invoked when the old leader fails). onElected fires on success.
 func (c *Consensus) StartElection(ctx actor.Ctx, onElected func()) {
@@ -239,7 +276,12 @@ func (c *Consensus) StartElection(ctx actor.Ctx, onElected func()) {
 	c.promises = 1 // self
 	c.merged = map[uint64]*instState{}
 	c.onElected = onElected
-	c.ballot += uint64(len(c.peers)) + 1 // unique higher ballot
+	// Climb to the next ballot congruent to this replica's offset modulo
+	// the group size: concurrent candidates can never pick the same
+	// number, even after stepDown synchronized their ballot views.
+	n := uint64(len(c.peers)) + 1
+	next := c.ballot + 1
+	c.ballot = next + (n+c.BallotOffset%n-next%n)%n
 	c.promised = c.ballot
 	for inst, st := range c.log {
 		if st.accepted || st.committed {
@@ -261,9 +303,13 @@ func (c *Consensus) prepare(ctx actor.Ctx, m actor.Msg) sim.Time {
 	}
 	c.promised = ballot
 	c.IsLeader = false
-	// Return every accepted entry so the new leader can fill gaps.
+	c.electing = false
+	// Return every accepted entry so the new leader can fill gaps. Sorted
+	// instance order: the promise payload bytes must not depend on map
+	// iteration order (determinism invariant).
 	var out []byte
-	for inst, st := range c.log {
+	for _, inst := range c.sortedLog() {
+		st := c.log[inst]
 		if st.accepted || st.committed {
 			entry := encPaxos(inst, st.ballot, st.cmd)
 			var el [4]byte
@@ -311,8 +357,15 @@ func (c *Consensus) checkElected(ctx actor.Ctx) {
 	c.electing = false
 	c.IsLeader = true
 	// Choose the next available instance and re-propose every merged
-	// entry that is not yet committed locally.
-	for inst, st := range c.merged {
+	// entry that is not yet committed locally, in sorted instance order
+	// so the re-proposal message sequence is deterministic.
+	insts := make([]uint64, 0, len(c.merged))
+	for inst := range c.merged {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		st := c.merged[inst]
 		if inst >= c.next {
 			c.next = inst + 1
 		}

@@ -100,8 +100,8 @@ func clientWrite(b *bus, dst actor.ID, key, val string, onResp func(actor.Msg)) 
 
 func TestPaxosSingleRoundCommit(t *testing.T) {
 	b, leader, f1, f2 := threeReplicas(t)
-	var status byte
-	clientWrite(b, 1, "k", "v", func(m actor.Msg) { status = m.Data[0] })
+	var status Status
+	clientWrite(b, 1, "k", "v", func(m actor.Msg) { status = StatusOf(m.Data) })
 	b.pump()
 	if status != StatusOK {
 		t.Fatalf("client status %d", status)
@@ -185,8 +185,8 @@ func TestElectionAdoptsUncommittedEntries(t *testing.T) {
 		t.Fatalf("follower 1 committed %d instances", f1.LogLen())
 	}
 	// New writes go to a fresh instance.
-	var status byte
-	clientWrite(b, 3, "d", "4", func(m actor.Msg) { status = m.Data[0] })
+	var status Status
+	clientWrite(b, 3, "d", "4", func(m actor.Msg) { status = StatusOf(m.Data) })
 	b.pump()
 	if status != StatusOK {
 		t.Fatalf("post-election write status %d", status)
@@ -210,8 +210,8 @@ func TestElectionDeposesOldLeader(t *testing.T) {
 		t.Fatal("old leader did not step down on higher ballot")
 	}
 	// Writes to the old leader now redirect.
-	var status byte
-	clientWrite(b, 1, "x", "y", func(m actor.Msg) { status = m.Data[0] })
+	var status Status
+	clientWrite(b, 1, "x", "y", func(m actor.Msg) { status = StatusOf(m.Data) })
 	b.pump()
 	if status != StatusRedirect {
 		t.Fatalf("old leader status %d, want redirect", status)

@@ -53,6 +53,10 @@ type Cluster struct {
 	tracer    *obs.Tracer
 	collector *obs.Collector
 	obsPrefix string
+
+	// onMembership listeners observe node crash/recovery transitions
+	// (see OnMembership in fault.go).
+	onMembership []func(node string, down bool)
 }
 
 // NewCluster creates an empty cluster with a deterministic seed.
@@ -160,6 +164,16 @@ type Node struct {
 	Dropped uint64
 	// flushArmed tracks the pending ring-flush timer.
 	flushArmed bool
+
+	// Failure-injection state (see fault.go): down marks the whole node
+	// crashed, nicDown the SmartNIC processing complex alone, and
+	// nicSlowdown > 1 dilates NIC-core service times (overload bursts).
+	down        bool
+	nicDown     bool
+	nicSlowdown float64
+	// DownDrops counts messages discarded because the node (or its NIC
+	// complex) was down when they arrived or would have executed.
+	DownDrops uint64
 }
 
 // migrationBandwidthGBs is the effective object-migration bandwidth
@@ -334,6 +348,12 @@ func (n *Node) ActorSide(id actor.ID) (dmo.Side, error) {
 
 // Deliver implements netsim.Handler: traffic from the wire.
 func (n *Node) Deliver(pkt *netsim.Packet) {
+	if n.down {
+		// Crashed nodes drop everything on the floor: the client's retry
+		// path is what recovers the request.
+		n.DownDrops++
+		return
+	}
 	switch p := pkt.Payload.(type) {
 	case RespEnvelope:
 		// A response to a client co-located on this node.
@@ -346,7 +366,7 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 		if m.Origin == "" {
 			m.Origin = pkt.Src
 		}
-		if n.Sched != nil {
+		if n.Sched != nil && !n.nicDown {
 			n.Gate.Admit(m.FlowID, pkt.Size, func() { n.Sched.Arrive(m) })
 			return
 		}
@@ -363,6 +383,12 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 // runOnNIC is the scheduler's Run hook: execute the handler for real,
 // return the modeled NIC-core service time.
 func (n *Node) runOnNIC(a *actor.Actor, m actor.Msg) sim.Time {
+	if n.down || n.nicDown {
+		// The cores are dead: queued work drains as drops — no handler
+		// runs, no state mutates, no reply leaves.
+		n.DownDrops++
+		return 100 * sim.Nanosecond
+	}
 	ctx := &execCtx{node: n, a: a, onNIC: true}
 	ref := a.OnMessage(ctx, m)
 	service := n.scaleNIC(ref) + ctx.extra
@@ -374,6 +400,10 @@ func (n *Node) runOnNIC(a *actor.Actor, m actor.Msg) sim.Time {
 
 // runOnHost is the host engine's Run hook.
 func (n *Node) runOnHost(a *actor.Actor, m actor.Msg) sim.Time {
+	if n.down {
+		n.DownDrops++
+		return 100 * sim.Nanosecond
+	}
 	ctx := &execCtx{node: n, a: a, onNIC: false}
 	ref := a.OnMessage(ctx, m)
 	service := n.scaleHost(ref, a) + ctx.extra
@@ -392,8 +422,13 @@ func (n *Node) runOnHost(a *actor.Actor, m actor.Msg) sim.Time {
 }
 
 // scaleNIC converts a reference-core (CN2350) cost to this NIC's cores.
+// An injected overload burst (nicSlowdown > 1) dilates the result.
 func (n *Node) scaleNIC(ref sim.Time) sim.Time {
-	return sim.Time(float64(ref) * n.NICModel.CyclesScale())
+	t := sim.Time(float64(ref) * n.NICModel.CyclesScale())
+	if n.nicSlowdown > 1 {
+		t = sim.Time(float64(t) * n.nicSlowdown)
+	}
+	return t
 }
 
 // scaleHost converts a reference-core cost to a host core, crediting

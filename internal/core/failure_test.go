@@ -101,7 +101,7 @@ func TestPaxosToleratesSingleLinkLoss(t *testing.T) {
 				Size: 256, FlowID: uint64(i),
 				Timeout: 2 * sim.Millisecond, Retries: 5,
 				OnResp: func(resp actor.Msg) {
-					if resp.Data[0] == rkv.StatusOK {
+					if rkv.StatusOf(resp.Data) == rkv.StatusOK {
 						acked++
 					}
 				},
@@ -123,7 +123,7 @@ func TestPaxosToleratesSingleLinkLoss(t *testing.T) {
 			Timeout: 2 * sim.Millisecond, Retries: 5,
 			OnResp: func(resp actor.Msg) {
 				done++
-				if resp.Data[0] != rkv.StatusOK {
+				if rkv.StatusOf(resp.Data) != rkv.StatusOK {
 					misses++
 				}
 			},

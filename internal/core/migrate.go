@@ -82,6 +82,9 @@ func (n *Node) pushToHost(a *actor.Actor) {
 // the SmartNIC has spare capacity (§3.2.5). Only the NIC initiates
 // migration in either direction.
 func (n *Node) pullFromHost() bool {
+	if n.nicDown || n.down {
+		return false
+	}
 	a := n.Host.LeastLoadedActor()
 	if a == nil {
 		return false

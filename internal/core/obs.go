@@ -85,6 +85,12 @@ func (c *Cluster) EnableMetricsPrefixed(col *obs.Collector, prefix string) {
 	}
 }
 
+// ObsPrefix returns the group-name prefix installed by
+// EnableTracingPrefixed / EnableMetricsPrefixed ("" when unprefixed).
+// Layers that add their own trace groups (the fault injector) use it to
+// stay consistent with the cluster's node groups.
+func (c *Cluster) ObsPrefix() string { return c.obsPrefix }
+
 // nodeNames returns node names sorted, so group and track registration
 // order — and hence exported trace bytes — never depend on map order.
 func (c *Cluster) nodeNames() []string {

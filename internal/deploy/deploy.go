@@ -1,0 +1,441 @@
+// Package deploy is the spec-based deployment API: each application is
+// stood up from a declarative spec struct (RKVSpec, DTSpec, RTASpec,
+// FirewallSpec, IPSecSpec) that bundles what the old positional helpers
+// took as bare arguments — nodes, actor IDs, placement — with the
+// shared policy vocabulary (Placement, RetryPolicy, FailoverPolicy) and
+// an optional fault.Schedule installed at deploy time.
+//
+// The specs also wire the recovery machinery that positional deployment
+// never could: an RKVSpec installs a leader-failover monitor that
+// triggers a Paxos election when the leader's node dies, and a DTSpec
+// with a TxnTimeout arms the coordinator's sweep that aborts
+// transactions stranded by a participant death. Both are passive until
+// a failure actually occurs, so fault-free runs are bit-identical to
+// the legacy helpers' output.
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/apps/dt"
+	"repro/internal/apps/nf"
+	"repro/internal/apps/rkv"
+	"repro/internal/apps/rta"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Placement says where an application's offloadable actors run.
+// Host-pinned actors (SSTable readers, compactors, loggers) ignore it.
+type Placement struct {
+	// OnNIC offloads the offloadable actors to the SmartNIC where the
+	// node has one; false keeps everything on the host.
+	OnNIC bool
+}
+
+// NIC and Host are the two common placements.
+var (
+	NIC  = Placement{OnNIC: true}
+	Host = Placement{OnNIC: false}
+)
+
+// RetryPolicy is the client-side recovery vocabulary shared by every
+// spec: requests time out and re-send with capped exponential backoff.
+// Apply copies it onto a workload.Request.
+type RetryPolicy struct {
+	// Timeout is the first re-send interval (0 disables retries).
+	Timeout sim.Time
+	// Retries bounds re-sends.
+	Retries int
+	// Backoff multiplies the interval after every unanswered attempt
+	// (values ≤ 1 keep it fixed).
+	Backoff float64
+	// MaxTimeout caps the grown interval (0 = uncapped).
+	MaxTimeout sim.Time
+}
+
+// DefaultRetry tolerates a leader election or a lossy-link window:
+// 500µs initial timeout, 8 retries, doubling to a 4ms cap (≈20ms of
+// total patience).
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{
+		Timeout:    500 * sim.Microsecond,
+		Retries:    8,
+		Backoff:    2,
+		MaxTimeout: 4 * sim.Millisecond,
+	}
+}
+
+// Apply copies the policy onto a request (leaving destination and
+// payload fields alone).
+func (p RetryPolicy) Apply(r *workload.Request) {
+	r.Timeout = p.Timeout
+	r.Retries = p.Retries
+	r.Backoff = p.Backoff
+	r.MaxTimeout = p.MaxTimeout
+}
+
+// FailoverPolicy controls the RKV leader-failover monitor.
+type FailoverPolicy struct {
+	// Detect models the failure detector's timeout: how long after a
+	// leader-node death the election is triggered (0 = DefaultDetect).
+	Detect sim.Time
+	// Disabled turns the monitor off entirely.
+	Disabled bool
+}
+
+// DefaultDetect is the default failure-detection delay.
+const DefaultDetect = 200 * sim.Microsecond
+
+// installFaults installs a spec's fault schedule (nil injector when the
+// schedule is empty).
+func installFaults(cl *core.Cluster, s fault.Schedule) (*fault.Injector, error) {
+	if len(s.Faults) == 0 {
+		return nil, nil
+	}
+	return fault.Install(cl, s)
+}
+
+// --- RKV --------------------------------------------------------------
+
+// RKVSpec deploys the replicated key-value store (Multi-Paxos + LSM).
+type RKVSpec struct {
+	// Nodes hosts one replica each; the first starts as Paxos leader.
+	Nodes []*core.Node
+	// BaseID is the first actor ID; replica k uses BaseID+4k..BaseID+4k+3.
+	BaseID actor.ID
+	// MemLimit is the Memtable size triggering minor compaction.
+	MemLimit int
+	// Placement offloads consensus and Memtable actors when OnNIC; the
+	// SSTable reader and compactor are always host-pinned.
+	Placement Placement
+	// Retry is the suggested client policy (exposed via RKV.Retry; the
+	// deployment itself sends nothing).
+	Retry RetryPolicy
+	// Failover configures the leader-failover monitor.
+	Failover FailoverPolicy
+	// Faults is an optional failure schedule installed at deploy time.
+	Faults fault.Schedule
+}
+
+// RKV is a deployed replica group plus its recovery machinery.
+type RKV struct {
+	*rkv.Deployment
+	Spec     RKVSpec
+	Injector *fault.Injector
+	// Elections counts failover-triggered elections.
+	Elections uint64
+}
+
+// Deploy stands up the spec.
+func (s RKVSpec) Deploy() (*RKV, error) {
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("deploy: RKVSpec needs at least one node")
+	}
+	cl := s.Nodes[0].Cluster()
+	d, err := rkv.Deploy(s.Nodes, s.BaseID, s.MemLimit, s.Placement.OnNIC)
+	if err != nil {
+		return nil, err
+	}
+	out := &RKV{Deployment: d, Spec: s}
+	if !s.Failover.Disabled {
+		out.installFailover(cl)
+	}
+	if out.Injector, err = installFaults(cl, s.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// installFailover registers a membership listener modeling the replica
+// group's failure detector: when the node hosting the current leader
+// dies, after the detection delay the first live replica (in replica
+// order) is told to run an election. Passive until a node actually
+// fails.
+func (r *RKV) installFailover(cl *core.Cluster) {
+	detect := r.Spec.Failover.Detect
+	if detect <= 0 {
+		detect = DefaultDetect
+	}
+	cl.OnMembership(func(node string, down bool) {
+		if !down || !r.hostsLeader(node) {
+			return
+		}
+		cl.Eng.After(detect, func() {
+			// Re-check at detection time: the leader may have recovered,
+			// or an election may already have installed a live one.
+			if l := r.liveLeader(); l != nil {
+				return
+			}
+			for _, rep := range r.Replicas {
+				if rep.Node.Down() {
+					continue
+				}
+				r.Elections++
+				rep.Node.Inject(actor.Msg{Kind: rkv.KindElect, Dst: rep.Consensus.Actor.ID})
+				return
+			}
+		})
+	})
+}
+
+// hostsLeader reports whether the named node hosts a replica that
+// currently believes it is leader.
+func (r *RKV) hostsLeader(node string) bool {
+	for _, rep := range r.Replicas {
+		if rep.Node.Name == node && rep.Consensus.IsLeader {
+			return true
+		}
+	}
+	return false
+}
+
+// liveLeader returns the leader replica if its node is up (nil
+// otherwise).
+func (r *RKV) liveLeader() *rkv.Replica {
+	l := r.Leader()
+	if l == nil || l.Node.Down() {
+		return nil
+	}
+	return l
+}
+
+// --- DT ----------------------------------------------------------------
+
+// DTSpec deploys the distributed transaction system (OCC + 2PC).
+type DTSpec struct {
+	// Coordinator hosts the coordinator actor and the host-pinned logger.
+	Coordinator *core.Node
+	// Participants hosts one participant actor each (must be non-empty:
+	// a coordinator with no participants can never commit anything).
+	Participants []*core.Node
+	// BaseID is the coordinator's actor ID; participant i uses
+	// BaseID+1+i and the logger BaseID+1+len(Participants).
+	BaseID actor.ID
+	// Placement offloads coordinator and participants when OnNIC; the
+	// logger is always host-pinned.
+	Placement Placement
+	// Retry is the suggested client policy (exposed via DT.Retry).
+	Retry RetryPolicy
+	// TxnTimeout arms the coordinator sweep: in-flight transactions
+	// older than this abort cleanly (0 disables the sweep).
+	TxnTimeout sim.Time
+	// LockLease bounds participant write-lock tenure (0 = the package
+	// default, negative = locks never expire).
+	LockLease sim.Time
+	// Faults is an optional failure schedule installed at deploy time.
+	Faults fault.Schedule
+}
+
+// DT is a deployed transaction system.
+type DT struct {
+	Coord    *dt.Coordinator
+	Stores   []*dt.Store
+	Spec     DTSpec
+	Injector *fault.Injector
+}
+
+// Deploy stands up the spec. It rejects an empty participant set — the
+// legacy helper silently accepted one and produced a coordinator that
+// aborted every transaction.
+func (s DTSpec) Deploy() (*DT, error) {
+	if s.Coordinator == nil {
+		return nil, fmt.Errorf("deploy: DTSpec needs a coordinator node")
+	}
+	if len(s.Participants) == 0 {
+		return nil, fmt.Errorf("deploy: DTSpec needs at least one participant node (a coordinator without participants cannot commit transactions)")
+	}
+	lease := s.LockLease
+	switch {
+	case lease == 0:
+		lease = dt.DefaultLockLease
+	case lease < 0:
+		lease = 0
+	}
+	var partIDs []actor.ID
+	var stores []*dt.Store
+	for i, n := range s.Participants {
+		st := dt.NewStore()
+		id := s.BaseID + 1 + actor.ID(i)
+		if err := n.Register(dt.NewParticipantLease(id, st, lease), s.Placement.OnNIC, 0); err != nil {
+			return nil, err
+		}
+		partIDs = append(partIDs, id)
+		stores = append(stores, st)
+	}
+	loggerID := s.BaseID + 1 + actor.ID(len(s.Participants))
+	if err := s.Coordinator.Register(dt.NewLogger(loggerID, nil), false, 0); err != nil {
+		return nil, err
+	}
+	coord := dt.NewCoordinator(s.BaseID, partIDs, loggerID)
+	coord.TxnTimeout = s.TxnTimeout
+	if err := s.Coordinator.Register(coord.Actor, s.Placement.OnNIC, 0); err != nil {
+		return nil, err
+	}
+	out := &DT{Coord: coord, Stores: stores, Spec: s}
+	if s.TxnTimeout > 0 {
+		out.installSweep()
+	}
+	var err error
+	if out.Injector, err = installFaults(s.Coordinator.Cluster(), s.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// installSweep injects a KindSweep message into the coordinator every
+// TxnTimeout/2 so stranded transactions abort within ~1.5× the timeout.
+// The ticker stops re-arming once it is the only pending event, letting
+// Engine.Run terminate (the same guard obs.Collector uses).
+func (d *DT) installSweep() {
+	eng := d.Spec.Coordinator.Cluster().Eng
+	interval := d.Spec.TxnTimeout / 2
+	if interval < 1 {
+		interval = 1
+	}
+	coordID := d.Coord.Actor.ID
+	node := d.Spec.Coordinator
+	var tick func()
+	tick = func() {
+		if eng.Pending() == 0 {
+			return // simulation drained; a sweep would keep it alive forever
+		}
+		node.Inject(actor.Msg{Kind: dt.KindSweep, Dst: coordID})
+		eng.After(interval, tick)
+	}
+	eng.After(interval, tick)
+}
+
+// --- RTA ---------------------------------------------------------------
+
+// RTASpec deploys the real-time analytics pipeline.
+type RTASpec struct {
+	// Node hosts the filter → counter → ranker pipeline.
+	Node *core.Node
+	// Aggregator hosts the host-pinned aggregator actor.
+	Aggregator *core.Node
+	// BaseID is the filter's actor ID (counter +1, ranker +2,
+	// aggregator +3).
+	BaseID actor.ID
+	// Discard lists tokens the filter drops.
+	Discard []string
+	// TopN sizes the ranker and aggregator views.
+	TopN int
+	// Placement offloads the pipeline when OnNIC.
+	Placement Placement
+	// OnUpdate observes each consolidated top-N view.
+	OnUpdate func([]rta.Entry)
+	// Faults is an optional failure schedule installed at deploy time.
+	Faults fault.Schedule
+}
+
+// RTA is a deployed analytics pipeline.
+type RTA struct {
+	Topology rta.Topology
+	Spec     RTASpec
+	Injector *fault.Injector
+}
+
+// Deploy stands up the spec.
+func (s RTASpec) Deploy() (*RTA, error) {
+	if s.Node == nil || s.Aggregator == nil {
+		return nil, fmt.Errorf("deploy: RTASpec needs pipeline and aggregator nodes")
+	}
+	topo := rta.Topology{
+		Filter:     s.BaseID,
+		Counter:    s.BaseID + 1,
+		Ranker:     s.BaseID + 2,
+		Aggregator: s.BaseID + 3,
+	}
+	agg, _ := rta.NewAggregator(topo.Aggregator, s.TopN, s.OnUpdate)
+	if err := s.Aggregator.Register(agg, false, 0); err != nil {
+		return nil, err
+	}
+	f, _ := rta.NewFilter(topo.Filter, topo, s.Discard)
+	c, _ := rta.NewCounter(topo.Counter, topo, rta.CounterConfig{})
+	r, _ := rta.NewRanker(topo.Ranker, topo, s.TopN)
+	for _, a := range []*actor.Actor{f, c, r} {
+		if err := s.Node.Register(a, s.Placement.OnNIC, 0); err != nil {
+			return nil, err
+		}
+	}
+	out := &RTA{Topology: topo, Spec: s}
+	var err error
+	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- Network functions -------------------------------------------------
+
+// FirewallSpec deploys a software-TCAM firewall actor.
+type FirewallSpec struct {
+	Node      *core.Node
+	ID        actor.ID
+	Rules     []nf.Rule
+	Placement Placement
+	Faults    fault.Schedule
+}
+
+// Firewall is a deployed firewall actor.
+type Firewall struct {
+	Spec     FirewallSpec
+	Injector *fault.Injector
+}
+
+// Deploy stands up the spec.
+func (s FirewallSpec) Deploy() (*Firewall, error) {
+	if s.Node == nil {
+		return nil, fmt.Errorf("deploy: FirewallSpec needs a node")
+	}
+	fw := nf.NewFirewall(s.ID, nf.NewTCAM(s.Rules))
+	if err := s.Node.Register(fw, s.Placement.OnNIC, 0); err != nil {
+		return nil, err
+	}
+	out := &Firewall{Spec: s}
+	var err error
+	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IPSecSpec deploys an IPSec gateway actor (AES-256-CTR + SHA-1,
+// accelerator-assisted on the NIC).
+type IPSecSpec struct {
+	Node      *core.Node
+	ID        actor.ID
+	Key       []byte
+	MACKey    []byte
+	Placement Placement
+	Faults    fault.Schedule
+}
+
+// IPSec is a deployed gateway actor.
+type IPSec struct {
+	Spec     IPSecSpec
+	Injector *fault.Injector
+}
+
+// Deploy stands up the spec.
+func (s IPSecSpec) Deploy() (*IPSec, error) {
+	if s.Node == nil {
+		return nil, fmt.Errorf("deploy: IPSecSpec needs a node")
+	}
+	st, err := nf.NewIPSecState(s.Key, s.MACKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Node.Register(nf.NewIPSecGateway(s.ID, st), s.Placement.OnNIC, 0); err != nil {
+		return nil, err
+	}
+	out := &IPSec{Spec: s}
+	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

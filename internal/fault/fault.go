@@ -1,0 +1,381 @@
+// Package fault is the deterministic failure injector: it turns a
+// declarative Schedule of faults — node crash/restart, NIC-complex
+// failure, NIC overload bursts, link loss, link flapping, network
+// partitions, accelerator stalls — into first-class simulator events on
+// the cluster's engine. Every activation and restoration is recorded in
+// a byte-deterministic log (same seed + same schedule ⇒ identical
+// bytes), and when tracing is enabled each fault appears as a span on a
+// dedicated "faults" trace group, so degraded regimes are visible right
+// next to the per-core execution lanes they perturb.
+//
+// The injector only *causes* failures; the recovery mechanisms live
+// where they belong — client retry with capped exponential backoff in
+// internal/workload, Paxos leader failover in internal/apps/rkv,
+// transaction-timeout aborts and lock leases in internal/apps/dt, and
+// crash semantics plus NIC-down actor re-homing in internal/core.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// NodeCrash fail-stops the whole node for Dur, then restarts it.
+	NodeCrash Kind = iota + 1
+	// NICDown kills only the SmartNIC processing complex: its actors
+	// re-home to the host and ingress takes the host path.
+	NICDown
+	// NICOverload dilates NIC-core service times by Factor for Dur.
+	NICOverload
+	// LinkLoss drops the node's traffic (both directions) with
+	// probability Rate for Dur.
+	LinkLoss
+	// LinkFlap repeatedly severs and heals the node's connectivity:
+	// down Period/2, up Period/2, for the whole Dur window.
+	LinkFlap
+	// Partition severs the Nodes group from every other attached node
+	// (including clients) for Dur; the group stays internally connected.
+	Partition
+	// AccelStall occupies the named accelerator Unit for Dur; invocations
+	// queue behind the blockage.
+	AccelStall
+)
+
+// String names the fault kind for logs and trace spans.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NICDown:
+		return "nic-down"
+	case NICOverload:
+		return "overload"
+	case LinkLoss:
+		return "loss"
+	case LinkFlap:
+		return "flap"
+	case Partition:
+		return "partition"
+	case AccelStall:
+		return "stall"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is one scheduled failure. At is absolute virtual time; Dur the
+// active window (every kind requires Dur > 0 — open-ended faults would
+// make runs dependent on harness stop times, breaking determinism
+// comparisons). Jitter, when set, shifts the start by a seed-derived
+// offset in [0, Jitter), drawn from the engine's PRNG at install time.
+type Fault struct {
+	Kind  Kind
+	Node  string   // target node (all kinds except Partition)
+	Nodes []string // Partition: the group to cut off
+
+	At  sim.Time
+	Dur sim.Time
+
+	Rate   float64  // LinkLoss drop probability (0, 1]
+	Factor float64  // NICOverload service-time multiplier (> 1)
+	Period sim.Time // LinkFlap cycle (default Dur/4)
+	Unit   string   // AccelStall accelerator name
+	Jitter sim.Time // optional seed-derived start offset
+}
+
+// label renders the fault for the deterministic log and trace spans.
+func (f Fault) label() string {
+	switch f.Kind {
+	case NICOverload:
+		return fmt.Sprintf("%s %s x%.3g", f.Kind, f.Node, f.Factor)
+	case LinkLoss:
+		return fmt.Sprintf("%s %s %.3g", f.Kind, f.Node, f.Rate)
+	case Partition:
+		return fmt.Sprintf("%s [%s]", f.Kind, strings.Join(f.Nodes, " "))
+	case AccelStall:
+		return fmt.Sprintf("%s %s %s", f.Kind, f.Node, f.Unit)
+	}
+	return fmt.Sprintf("%s %s", f.Kind, f.Node)
+}
+
+// Crash builds a node crash/restart fault.
+func Crash(node string, at, dur sim.Time) Fault {
+	return Fault{Kind: NodeCrash, Node: node, At: at, Dur: dur}
+}
+
+// NICFail builds a SmartNIC-complex failure.
+func NICFail(node string, at, dur sim.Time) Fault {
+	return Fault{Kind: NICDown, Node: node, At: at, Dur: dur}
+}
+
+// Overload builds a NIC overload burst (service times × factor).
+func Overload(node string, at, dur sim.Time, factor float64) Fault {
+	return Fault{Kind: NICOverload, Node: node, At: at, Dur: dur, Factor: factor}
+}
+
+// Loss builds a lossy-link window on the node's traffic.
+func Loss(node string, at, dur sim.Time, rate float64) Fault {
+	return Fault{Kind: LinkLoss, Node: node, At: at, Dur: dur, Rate: rate}
+}
+
+// Flap builds a flapping-link window (down Period/2, up Period/2).
+func Flap(node string, at, dur, period sim.Time) Fault {
+	return Fault{Kind: LinkFlap, Node: node, At: at, Dur: dur, Period: period}
+}
+
+// Cut builds a partition isolating the given group from everyone else.
+func Cut(at, dur sim.Time, nodes ...string) Fault {
+	return Fault{Kind: Partition, Nodes: nodes, At: at, Dur: dur}
+}
+
+// Stall builds an accelerator stall on the node's named unit.
+func Stall(node, unit string, at, dur sim.Time) Fault {
+	return Fault{Kind: AccelStall, Node: node, Unit: unit, At: at, Dur: dur}
+}
+
+// Schedule is a declarative set of faults, the Faults field of the
+// deployment specs (internal/deploy).
+type Schedule struct {
+	Faults []Fault
+}
+
+// Validate checks the schedule against a cluster: known target nodes,
+// positive windows, sane parameters. Partition/LinkLoss/LinkFlap targets
+// may name client endpoints (attached to the network but not cluster
+// nodes), so only node-runtime faults require a cluster node.
+func (s Schedule) Validate(cl *core.Cluster) error {
+	for i, f := range s.Faults {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("fault %d (%s): %s", i, f.label(), fmt.Sprintf(msg, args...))
+		}
+		if f.At < 0 {
+			return where("negative start time %v", f.At)
+		}
+		if f.Dur <= 0 {
+			return where("fault window must be positive, got %v", f.Dur)
+		}
+		switch f.Kind {
+		case NodeCrash, NICDown, NICOverload, AccelStall:
+			if cl.Node(f.Node) == nil {
+				return where("unknown node %q", f.Node)
+			}
+		case LinkLoss, LinkFlap:
+			if f.Node == "" {
+				return where("needs a target node")
+			}
+		case Partition:
+			if len(f.Nodes) == 0 {
+				return where("needs a non-empty group")
+			}
+		default:
+			return where("unknown fault kind")
+		}
+		switch f.Kind {
+		case NICOverload:
+			if f.Factor <= 1 {
+				return where("overload factor must exceed 1, got %g", f.Factor)
+			}
+		case LinkLoss:
+			if f.Rate <= 0 || f.Rate > 1 {
+				return where("loss rate must be in (0, 1], got %g", f.Rate)
+			}
+		case AccelStall:
+			if f.Unit == "" {
+				return where("needs an accelerator unit name")
+			}
+		}
+	}
+	return nil
+}
+
+// Injector is an installed schedule: its events are on the engine, its
+// trace lane is registered, and its activation log fills in as the run
+// progresses.
+type Injector struct {
+	cl    *core.Cluster
+	eng   *sim.Engine
+	tr    *obs.Tracer
+	track obs.TrackID
+
+	// Injected counts fault activations; Active tracks currently-active
+	// windows (both useful to tests and experiment rows).
+	Injected int
+	Active   int
+
+	applied []string
+}
+
+// Install validates the schedule and schedules every fault on the
+// cluster's engine. Call before Run; faults whose windows start in the
+// past are rejected by the engine (sim.At panics), which is the
+// intended loud failure for a mis-built schedule. Installing an empty
+// schedule is allowed and yields an injector that never fires.
+func Install(cl *core.Cluster, s Schedule) (*Injector, error) {
+	if err := s.Validate(cl); err != nil {
+		return nil, err
+	}
+	in := &Injector{cl: cl, eng: cl.Eng, tr: cl.Tracer(), track: obs.NoTrack}
+	if in.tr.Enabled() && len(s.Faults) > 0 {
+		g := in.tr.Group(cl.ObsPrefix() + "faults")
+		in.track = in.tr.NewTrack(g, "injector")
+	}
+	// Stable order: sort by start time, preserving schedule order for
+	// ties, so jitter draws and log lines never depend on input order
+	// quirks.
+	faults := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	for _, f := range faults {
+		start := f.At
+		if f.Jitter > 0 {
+			start += sim.Time(in.eng.Rand().Float64() * float64(f.Jitter))
+		}
+		f := f
+		in.eng.At(start, func() { in.activate(f, start) })
+	}
+	return in, nil
+}
+
+// Log returns the activation log: one line per fault start and end, in
+// event order, with virtual timestamps. Byte-deterministic for a given
+// seed and schedule.
+func (in *Injector) Log() []string { return in.applied }
+
+// Fingerprint joins the log into one comparable string.
+func (in *Injector) Fingerprint() string { return strings.Join(in.applied, "\n") }
+
+func (in *Injector) logf(format string, args ...any) {
+	in.applied = append(in.applied, fmt.Sprintf(format, args...))
+}
+
+// activate applies a fault now and schedules its restoration.
+func (in *Injector) activate(f Fault, start sim.Time) {
+	revert := in.apply(f)
+	in.Injected++
+	in.Active++
+	in.logf("t=%d +%s", int64(in.eng.Now()), f.label())
+	end := start + f.Dur
+	// The span is emitted at activation (the window is known up front):
+	// per-lane timestamps then stay monotonic even when windows overlap.
+	in.tr.Span(in.track, f.label(), start, end, obs.Args{})
+	in.eng.At(end, func() {
+		if revert != nil {
+			revert()
+		}
+		in.Active--
+		in.logf("t=%d -%s", int64(in.eng.Now()), f.label())
+	})
+}
+
+// apply performs a fault's effect and returns its undo (nil when the
+// effect self-expires).
+func (in *Injector) apply(f Fault) func() {
+	net := in.cl.Net
+	switch f.Kind {
+	case NodeCrash:
+		n := in.cl.Node(f.Node)
+		n.Fail()
+		return n.Recover
+	case NICDown:
+		n := in.cl.Node(f.Node)
+		n.FailNIC()
+		return n.RecoverNIC
+	case NICOverload:
+		n := in.cl.Node(f.Node)
+		n.SetNICSlowdown(f.Factor)
+		return func() { n.SetNICSlowdown(1) }
+	case LinkLoss:
+		net.SetNodeLoss(f.Node, f.Rate)
+		return func() { net.SetNodeLoss(f.Node, 0) }
+	case LinkFlap:
+		others := in.peersOf(f.Node)
+		cut := func(on bool) {
+			for _, o := range others {
+				net.SetBlocked(f.Node, o, on)
+			}
+		}
+		half := f.Period / 2
+		if half <= 0 {
+			half = f.Dur / 8
+		}
+		if half <= 0 {
+			half = 1
+		}
+		end := in.eng.Now() + f.Dur
+		down := true
+		cut(true)
+		var toggle func()
+		toggle = func() {
+			if in.eng.Now() >= end {
+				return
+			}
+			down = !down
+			cut(down)
+			if down {
+				in.tr.Instant(in.track, "flap down "+f.Node, in.eng.Now())
+			} else {
+				in.tr.Instant(in.track, "flap up "+f.Node, in.eng.Now())
+			}
+			in.eng.After(half, toggle)
+		}
+		in.eng.After(half, toggle)
+		return func() { cut(false) }
+	case Partition:
+		group := map[string]bool{}
+		for _, a := range f.Nodes {
+			group[a] = true
+		}
+		var others []string
+		for _, name := range in.allEndpoints() {
+			if !group[name] {
+				others = append(others, name)
+			}
+		}
+		for _, a := range f.Nodes {
+			for _, b := range others {
+				net.SetBlocked(a, b, true)
+			}
+		}
+		a := append([]string(nil), f.Nodes...)
+		return func() {
+			for _, x := range a {
+				for _, b := range others {
+					net.SetBlocked(x, b, false)
+				}
+			}
+		}
+	case AccelStall:
+		n := in.cl.Node(f.Node)
+		if n.Accels == nil || !n.Accels.Stall(f.Unit, f.Dur) {
+			in.logf("t=%d skip %s (no unit)", int64(in.eng.Now()), f.label())
+		}
+		return nil // the station drains the stall by itself
+	}
+	return nil
+}
+
+// allEndpoints returns every network-attached name (nodes and clients),
+// sorted for determinism.
+func (in *Injector) allEndpoints() []string {
+	names := in.cl.Net.Nodes()
+	sort.Strings(names)
+	return names
+}
+
+// peersOf returns every attached endpoint except the given one, sorted.
+func (in *Injector) peersOf(node string) []string {
+	var out []string
+	for _, name := range in.allEndpoints() {
+		if name != node {
+			out = append(out, name)
+		}
+	}
+	return out
+}

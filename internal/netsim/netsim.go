@@ -71,6 +71,14 @@ type Network struct {
 	LossRate float64
 	// Lost counts packets dropped by injected loss.
 	Lost uint64
+	// PartitionDrops counts packets dropped by severed node pairs.
+	PartitionDrops uint64
+
+	// nodeLoss holds per-node loss probabilities (applied to traffic in
+	// either direction); blocked holds severed directed pairs. Both are
+	// fault-injection state, nil until first used.
+	nodeLoss map[string]float64
+	blocked  map[[2]string]bool
 
 	tracer  *obs.Tracer
 	groupOf func(node string) obs.GroupID
@@ -178,6 +186,55 @@ func (n *Network) LinkGbps(name string) float64 {
 	return p.up.gbps
 }
 
+// SetNodeLoss sets (rate > 0) or clears (rate ≤ 0) an independent drop
+// probability applied to every packet entering or leaving the node. The
+// effective loss for a packet is the maximum of the global LossRate and
+// the two endpoints' node rates.
+func (n *Network) SetNodeLoss(name string, rate float64) {
+	if n.nodeLoss == nil {
+		n.nodeLoss = map[string]float64{}
+	}
+	if rate <= 0 {
+		delete(n.nodeLoss, name)
+		return
+	}
+	n.nodeLoss[name] = rate
+}
+
+// SetBlocked severs (or, with cut=false, heals) the a↔b pair in both
+// directions — the switch stops forwarding between them, modeling a
+// network partition. Unknown names are accepted: the pair simply never
+// matches live traffic.
+func (n *Network) SetBlocked(a, b string, cut bool) {
+	if n.blocked == nil {
+		n.blocked = map[[2]string]bool{}
+	}
+	if cut {
+		n.blocked[[2]string{a, b}] = true
+		n.blocked[[2]string{b, a}] = true
+		return
+	}
+	delete(n.blocked, [2]string{a, b})
+	delete(n.blocked, [2]string{b, a})
+}
+
+// Blocked reports whether the a→b direction is currently severed.
+func (n *Network) Blocked(a, b string) bool { return n.blocked[[2]string{a, b}] }
+
+// effectiveLoss returns the drop probability for a src→dst packet.
+func (n *Network) effectiveLoss(src, dst string) float64 {
+	loss := n.LossRate
+	if len(n.nodeLoss) > 0 {
+		if r := n.nodeLoss[src]; r > loss {
+			loss = r
+		}
+		if r := n.nodeLoss[dst]; r > loss {
+			loss = r
+		}
+	}
+	return loss
+}
+
 // Send injects a packet at its source node. The packet serializes on the
 // source uplink, crosses the switch, serializes on the destination
 // downlink, and is then delivered. Sending from or to an unknown node
@@ -194,7 +251,11 @@ func (n *Network) Send(pkt *Packet) {
 		n.Drops++
 		return
 	}
-	if n.LossRate > 0 && n.eng.Rand().Float64() < n.LossRate {
+	if len(n.blocked) > 0 && n.blocked[[2]string{pkt.Src, pkt.Dst}] {
+		n.PartitionDrops++
+		return
+	}
+	if loss := n.effectiveLoss(pkt.Src, pkt.Dst); loss > 0 && n.eng.Rand().Float64() < loss {
 		n.Lost++
 		return
 	}

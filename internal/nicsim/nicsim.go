@@ -79,6 +79,7 @@ type accelUnit struct {
 	prof    spec.AccelProfile
 	station *sim.Station
 	Invokes uint64
+	Stalls  uint64
 	track   obs.TrackID
 }
 
@@ -153,6 +154,30 @@ func (b *AccelBank) Invoke(name string, bytes, batch int, done func()) (sim.Time
 		}
 	}})
 	return cost, true
+}
+
+// Stall occupies a unit for the given duration: a firmware hiccup or
+// thermal throttle during which invocations queue behind the blockage
+// (fault injection). Returns false if the bank has no such unit.
+func (b *AccelBank) Stall(name string, d sim.Time) bool {
+	u, ok := b.units[name]
+	if !ok {
+		return false
+	}
+	u.Stalls++
+	u.station.Submit(&sim.Job{Service: d, Done: func(enq, started, fin sim.Time) {
+		b.tracer.Span(u.track, name+" [stall]", started, fin,
+			obs.Args{Wait: started - enq})
+	}})
+	return true
+}
+
+// Stalls reports a unit's injected-stall count.
+func (b *AccelBank) Stalls(name string) uint64 {
+	if u, ok := b.units[name]; ok {
+		return u.Stalls
+	}
+	return 0
 }
 
 // Invokes reports a unit's invocation count.

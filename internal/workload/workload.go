@@ -62,6 +62,14 @@ type Request struct {
 	// latency sample fire once, for whichever attempt lands first.
 	Timeout sim.Time
 	Retries int
+	// Backoff multiplies the timeout after every unanswered attempt
+	// (capped exponential backoff; values ≤ 1 keep the interval fixed).
+	Backoff float64
+	// MaxTimeout caps the grown interval (0 = uncapped).
+	MaxTimeout sim.Time
+	// OnGiveUp, if set, fires when the final attempt also times out —
+	// the request is then lost from the client's point of view.
+	OnGiveUp func()
 }
 
 // Send issues one request now. The response latency is recorded in Lat
@@ -80,6 +88,7 @@ func (cl *Client) Send(r Request) {
 	sentAt := cl.eng.Now()
 	done := false
 	attempt := 0
+	timeout := r.Timeout
 	var fire func()
 	reply := func(resp actor.Msg) {
 		if done {
@@ -106,12 +115,30 @@ func (cl *Client) Send(r Request) {
 			FlowID:  r.FlowID,
 			Payload: m,
 		})
-		if r.Timeout > 0 && attempt < r.Retries {
+		if r.Timeout <= 0 {
+			return
+		}
+		wait := timeout
+		if r.Backoff > 1 {
+			next := sim.Time(float64(timeout) * r.Backoff)
+			if r.MaxTimeout > 0 && next > r.MaxTimeout {
+				next = r.MaxTimeout
+			}
+			timeout = next
+		}
+		if attempt < r.Retries {
 			attempt++
-			cl.eng.After(r.Timeout, func() {
+			cl.eng.After(wait, func() {
 				if !done {
 					cl.Retried++
 					fire()
+				}
+			})
+		} else if r.OnGiveUp != nil {
+			cl.eng.After(wait, func() {
+				if !done {
+					done = true // late responses are ignored once given up
+					r.OnGiveUp()
 				}
 			})
 		}

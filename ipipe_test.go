@@ -64,7 +64,7 @@ func TestFacadeRKV(t *testing.T) {
 		},
 	})
 	cl.Eng.Run()
-	if len(got) == 0 || got[0] != ipipe.RKVStatusOK || string(got[1:]) != "v" {
+	if len(got) == 0 || ipipe.RKVStatusOf(got) != ipipe.RKVStatusOK || string(got[1:]) != "v" {
 		t.Fatalf("facade RKV round trip: %q", got)
 	}
 }
@@ -78,7 +78,7 @@ func TestFacadeDT(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := ipipe.NewClient(cl, "cli", 10)
-	var outcome byte
+	var outcome ipipe.DTOutcome
 	txn := ipipe.DTTxn{Writes: []ipipe.DTOp{{Key: []byte("x"), Value: []byte("1")}}}
 	client.Send(ipipe.Request{
 		Node: "coord", Dst: 100, Kind: ipipe.DTKindTxn,
@@ -86,7 +86,7 @@ func TestFacadeDT(t *testing.T) {
 		OnResp: func(resp ipipe.Msg) { outcome, _ = ipipe.DTDecodeOutcome(resp.Data) },
 	})
 	cl.Eng.Run()
-	if outcome != ipipe.DTCommitted || c.Committed != 1 {
+	if outcome != ipipe.DTOutcomeCommitted || c.Committed != 1 {
 		t.Fatalf("outcome=%d committed=%d", outcome, c.Committed)
 	}
 	if stores[0].Len() == 0 {
@@ -120,18 +120,18 @@ func TestFacadeRTAAndNF(t *testing.T) {
 			})
 		})
 	}
-	var verdict byte
+	var verdict ipipe.NFVerdict
 	cl.Eng.At(2*ipipe.Millisecond, func() {
 		client.Send(ipipe.Request{
 			Node: "w", Dst: 50, Data: ipipe.FiveTuple{SrcIP: 0}.Encode(), Size: 128,
-			OnResp: func(resp ipipe.Msg) { verdict = resp.Data[0] },
+			OnResp: func(resp ipipe.Msg) { verdict = ipipe.NFVerdictOf(resp.Data) },
 		})
 	})
 	cl.Eng.Run()
 	if len(top) == 0 || top[0].Token != "hot" {
 		t.Fatalf("RTA top = %v", top)
 	}
-	if verdict != ipipe.NFAllow {
+	if verdict != ipipe.NFVerdictAllow {
 		t.Fatalf("firewall verdict %d", verdict)
 	}
 }
