@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,14 @@ vet:
 	$(GO) vet ./...
 
 # race: the concurrency gate for the engine hot path, the parallel
-# sweep runner (includes the serial-vs-parallel parity test), and the
-# fault-injection / recovery suites.
+# sweep runner (includes the serial-vs-parallel parity test), the
+# fault-injection / recovery suites, and the scale-out router/batching
+# code exercised from parallel sweeps.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
-		./internal/fault/... ./internal/deploy/... ./internal/core/...
+		./internal/fault/... ./internal/deploy/... ./internal/core/... \
+		./internal/shard/... ./internal/workload/... ./internal/msgring/... \
+		./internal/stats/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -38,9 +41,15 @@ fault-smoke:
 		{ echo "fault-smoke: no fault span in trace" >&2; exit 1; }
 	@echo "fault-smoke: fault spans present"
 
+# scale-smoke: run the sharded scale-out sweeps end to end (router,
+# multi-group deployment, client batching) in quick mode.
+scale-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick scale-shards scale-batch >/dev/null
+	@echo "scale-smoke: ok"
+
 # check: the CI step — static analysis, the race suite, and the
 # observability smoke tests.
-check: vet race trace-smoke fault-smoke
+check: vet race trace-smoke fault-smoke scale-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -48,6 +48,8 @@ func main() {
 	depth := flag.Int("depth", 16, "closed-loop outstanding requests (0 = use -rate)")
 	rate := flag.Float64("rate", 0, "open-loop request rate (req/s) when -depth 0")
 	size := flag.Int("size", 512, "request packet size (B)")
+	shards := flag.Int("shards", 1, "RKV shard count: one Paxos group per shard over the node pool (rkv only)")
+	batch := flag.Int("batch", 1, "coalesce up to this many same-shard requests into one message train (rkv only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "injected network packet loss rate [0,1)")
 	queue := flag.String("queue", "auto", "NIC ingress model: auto | shared | shuffle | iokernel")
@@ -100,14 +102,18 @@ func main() {
 	client := func() *ipipe.Client { return ipipe.NewClient(cl, "cli", linkOf(nic)) }
 
 	drive := func(c *ipipe.Client, gen func(i uint64) ipipe.Request) {
+		send := c.Send
+		if *batch > 1 {
+			send = ipipe.NewBatcher(c, 0, *batch).Add
+		}
 		if *depth > 0 {
-			c.ClosedLoop(*depth, window, gen)
+			c.ClosedLoopVia(*depth, window, gen, send)
 		} else {
 			r := *rate
 			if r <= 0 {
 				r = 100000
 			}
-			c.OpenLoop(r, window, gen)
+			c.OpenLoopVia(r, window, gen, send)
 		}
 	}
 
@@ -115,7 +121,11 @@ func main() {
 	var c *ipipe.Client
 	switch *app {
 	case "rkv":
-		for i := 0; i < 3; i++ {
+		nNodes := 3
+		if *shards > nNodes {
+			nNodes = *shards
+		}
+		for i := 0; i < nNodes; i++ {
 			nodes = append(nodes, mkNode(fmt.Sprintf("kv%d", i)))
 		}
 		d, err := ipipe.RKVSpec{
@@ -123,11 +133,11 @@ func main() {
 			BaseID:    100,
 			MemLimit:  4 << 20,
 			Placement: ipipe.Placement{OnNIC: offload},
+			Shards:    *shards,
 		}.Deploy()
 		if err != nil {
 			panic(err)
 		}
-		leader := d.LeaderActor()
 		c = client()
 		z := workload.NewZipf(cl.Eng.Rand(), 1_000_000, 0.99)
 		drive(c, func(i uint64) ipipe.Request {
@@ -136,7 +146,8 @@ func main() {
 			if i%20 == 0 {
 				data = ipipe.RKVPut(key, make([]byte, *size/4))
 			}
-			return ipipe.Request{Node: "kv0", Dst: leader, Kind: ipipe.RKVKindReq,
+			node, leader := d.LeaderFor(key)
+			return ipipe.Request{Node: node, Dst: leader, Kind: ipipe.RKVKindReq,
 				Data: data, Size: *size, FlowID: i}
 		})
 	case "dt":

@@ -127,6 +127,11 @@ type Actor struct {
 	// PinHost; PinNIC exists for symmetry and tests.
 	PinHost bool
 	PinNIC  bool
+	// Shard tags the actor with its scale-out shard index so spans and
+	// metrics attribute work per shard; only meaningful when Sharded is
+	// set, since shard 0 is a valid index.
+	Shard   int32
+	Sharded bool
 
 	// Mailbox holds messages awaiting DRR service (FCFS-mode messages
 	// are run to completion straight off the shared queue).

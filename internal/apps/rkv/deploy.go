@@ -85,6 +85,18 @@ func Deploy(nodes []*core.Node, baseID actor.ID, memLimit int, onNIC bool) (*Dep
 	return d, nil
 }
 
+// TagShard labels every replica's offloadable actors with a scale-out
+// shard index, so execution spans and metrics attribute work per shard
+// when the group is one of several in a sharded deployment.
+func (d *Deployment) TagShard(s int) {
+	for _, r := range d.Replicas {
+		for _, a := range []*actor.Actor{r.Consensus.Actor, r.Memtable.Actor} {
+			a.Shard = int32(s)
+			a.Sharded = true
+		}
+	}
+}
+
 // PutReq / GetReq / DelReq build client request payloads.
 func PutReq(key, value []byte) []byte { return EncodeCmd(Cmd{Op: OpPut, Key: key, Value: value}) }
 

@@ -24,11 +24,22 @@ func init() {
 type appRun struct {
 	// CoresUsed per measured role node.
 	CoresUsed map[string]float64
-	// Tput is achieved ops/sec; P50/P99 are latency percentiles (µs).
+	// Tput is achieved ops/sec; P50/P99 are latency percentiles (µs),
+	// valid only when LatOK (a window that completed nothing has no
+	// latency — reporters print "-" rather than a fake 0).
 	Tput     float64
 	P50, P99 float64
+	LatOK    bool
 	Received uint64
 	Sent     uint64
+}
+
+// latCell formats a latency percentile, "-" when the sample was empty.
+func latCell(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 // nicFor returns the NIC model for a link speed, or nil for DPDK mode.
@@ -200,8 +211,8 @@ func collect(cl *core.Cluster, client *workload.Client, window sim.Time, roles m
 		out.CoresUsed[role] = cl.Node(node).HostCoresAllocated()
 	}
 	out.Tput = float64(client.Received) / window.Seconds()
-	out.P50 = client.Lat.Percentile(50)
-	out.P99 = client.Lat.Percentile(99)
+	out.P50, out.LatOK = client.Lat.PercentileOK(50)
+	out.P99, _ = client.Lat.PercentileOK(99)
 	out.Received = client.Received
 	out.Sent = client.Sent
 	return out
@@ -318,7 +329,8 @@ func latVsTput(opts Options, link float64) *Result {
 		// role's host usage (fractional cores, §5.3).
 		cores := run.CoresUsed[p.rr.roles[0]]
 		perCore := run.Tput / cores / 1e3
-		r.Add(p.rr.app, mode, depths[p.di], run.Tput/1e3, perCore, run.P50, run.P99)
+		r.Add(p.rr.app, mode, depths[p.di], run.Tput/1e3, perCore,
+			latCell(run.P50, run.LatOK), latCell(run.P99, run.LatOK))
 		b := perCoreBest[p.rr.app]
 		if p.offload && perCore > b.ipipe {
 			b.ipipe = perCore

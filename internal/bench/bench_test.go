@@ -37,7 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "table2", "table3", "fig13", "fig14", "fig15", "fig16",
-		"fig17", "fig18", "floem", "nf",
+		"fig17", "fig18", "floem", "nf", "scale-shards", "scale-batch",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -291,5 +291,70 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if strings.Count(out, "\n") < len(r.Rows)+1 {
 		t.Fatal("CSV rows missing")
+	}
+}
+
+// TestScaleShardsQuick pins the headline scale-out acceptance: at
+// θ=0.99 the 8-shard deployment must reach at least 80% of linear
+// scaling over the 1-shard baseline (quick grid is {1,8} shards).
+func TestScaleShardsQuick(t *testing.T) {
+	r := runQuick(t, "scale-shards")
+	if len(r.Rows) != 2 {
+		t.Fatalf("quick scale-shards rows = %d, want 2", len(r.Rows))
+	}
+	if got := cell(t, r, 0, 1); got != 1 {
+		t.Fatalf("row 0 shards = %v, want 1", got)
+	}
+	if got := cell(t, r, 1, 1); got != 8 {
+		t.Fatalf("row 1 shards = %v, want 8", got)
+	}
+	base, scaled := cell(t, r, 0, 2), cell(t, r, 1, 2)
+	if base <= 0 || scaled <= 0 {
+		t.Fatalf("non-positive throughput: base %v scaled %v", base, scaled)
+	}
+	if ratio := scaled / base; ratio < 6.4 {
+		t.Errorf("8-shard throughput %.1fx over 1 shard, want >= 6.4x (80%% of linear)", ratio)
+	}
+	for row := 0; row < 2; row++ {
+		if bal := cell(t, r, row, 7); bal < 1 || bal > 2.5 {
+			t.Errorf("row %d balance = %v, want within [1, 2.5]", row, bal)
+		}
+	}
+}
+
+// TestScaleBatchQuick checks train formation and that batching does not
+// cost measurable throughput on either delivery path.
+func TestScaleBatchQuick(t *testing.T) {
+	r := runQuick(t, "scale-batch")
+	if len(r.Rows) != 4 {
+		t.Fatalf("quick scale-batch rows = %d, want 4", len(r.Rows))
+	}
+	for _, path := range []int{0, 1} {
+		unbatched, batched := r.Rows[path*2], r.Rows[path*2+1]
+		base, err := strconv.ParseFloat(unbatched[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput, err := strconv.ParseFloat(batched[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tput < 0.85*base || tput > 1.15*base {
+			t.Errorf("%s batched tput %v vs unbatched %v, want within 15%%", batched[0], tput, base)
+		}
+		trains, err := strconv.ParseFloat(batched[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, err := strconv.ParseFloat(batched[6], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trains <= 0 || avg < 1.5 {
+			t.Errorf("%s trains = %v avg = %v, want coalescing (trains > 0, avg >= 1.5)", batched[0], trains, avg)
+		}
+		if got := unbatched[5]; got != "0" {
+			t.Errorf("%s unbatched trains = %q, want 0", unbatched[0], got)
+		}
 	}
 }

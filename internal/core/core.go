@@ -42,6 +42,18 @@ type RespEnvelope struct {
 	Msg actor.Msg
 }
 
+// BatchEnvelope is a client-side message train: several requests bound
+// for actors on the same node, coalesced into one wire packet so the
+// per-packet receive cost — gate admission on a SmartNIC, the DPDK
+// stack on a baseline host — is paid once for the whole train (the
+// batched-DMA amortization of insight I6, applied at the client edge).
+// Sizes[i] is message i's wire share of the packet; the responses
+// travel individually.
+type BatchEnvelope struct {
+	Msgs  []actor.Msg
+	Sizes []int
+}
+
 // Cluster is a deployment: one engine, one network, a shared actor
 // table, and a set of nodes.
 type Cluster struct {
@@ -374,6 +386,31 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 		// stack's receive latency.
 		n.eng.After(n.HostModel.DPDKRecvCost.Cost(pkt.Size)-n.HostModel.DPDKRxOcc, func() {
 			n.Host.Arrive(m)
+		})
+	case BatchEnvelope:
+		msgs := make([]actor.Msg, len(p.Msgs))
+		for i, m := range p.Msgs {
+			m.WireSize = p.Sizes[i]
+			m.Via = actor.ViaWire
+			if m.Origin == "" {
+				m.Origin = pkt.Src
+			}
+			msgs[i] = m
+		}
+		if n.Sched != nil && !n.nicDown {
+			// One gate admission for the whole train; the scheduler then
+			// sees the individual messages.
+			n.Gate.Admit(pkt.FlowID, pkt.Size, func() {
+				for _, m := range msgs {
+					n.Sched.Arrive(m)
+				}
+			})
+			return
+		}
+		n.eng.After(n.HostModel.DPDKRecvCost.Cost(pkt.Size)-n.HostModel.DPDKRxOcc, func() {
+			for _, m := range msgs {
+				n.Host.Arrive(m)
+			}
 		})
 	default:
 		n.Dropped++

@@ -172,8 +172,17 @@ func (n *Node) obsSchedExec(coreID int, mode sched.Mode, a *actor.Actor, m actor
 	if mode == sched.DRR {
 		name += " [drr]"
 	}
-	o.tr.Span(o.nicTracks[coreID], name, start, end,
-		obs.Args{Req: m.FlowID, HasReq: m.FlowID != 0, Bytes: m.WireSize, Wait: wait})
+	o.tr.Span(o.nicTracks[coreID], name, start, end, execArgs(a, m, wait))
+}
+
+// execArgs assembles span annotations for one executed message,
+// including the actor's shard tag when it carries one.
+func execArgs(a *actor.Actor, m actor.Msg, wait sim.Time) obs.Args {
+	args := obs.Args{Req: m.FlowID, HasReq: m.FlowID != 0, Bytes: m.WireSize, Wait: wait}
+	if a != nil && a.Sharded {
+		args.Shard, args.HasShard = a.Shard, true
+	}
+	return args
 }
 
 // obsHostExec is the host engine's OnExec hook.
@@ -189,8 +198,7 @@ func (n *Node) obsHostExec(coreID int, a *actor.Actor, m actor.Msg, start, end s
 	if wait < 0 {
 		wait = 0
 	}
-	o.tr.Span(o.hostTracks[coreID], actorLabel(a), start, end,
-		obs.Args{Req: m.FlowID, HasReq: m.FlowID != 0, Bytes: m.WireSize, Wait: wait})
+	o.tr.Span(o.hostTracks[coreID], actorLabel(a), start, end, execArgs(a, m, wait))
 }
 
 // obsModeSwitch marks an actor's FCFS↔DRR transition on the sched lane.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/apps/rta"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -101,11 +102,19 @@ func installFaults(cl *core.Cluster, s fault.Schedule) (*fault.Injector, error) 
 
 // --- RKV --------------------------------------------------------------
 
-// RKVSpec deploys the replicated key-value store (Multi-Paxos + LSM).
+// RKVSpec deploys the replicated key-value store (Multi-Paxos + LSM),
+// either as one replica group over Nodes (the paper's §5.1 setup) or —
+// with Shards > 1 — as a sharded scale-out: one independent Paxos group
+// per shard, leaders rotated across the node pool, with a
+// consistent-hash router directing keys to groups.
 type RKVSpec struct {
-	// Nodes hosts one replica each; the first starts as Paxos leader.
+	// Nodes is the node pool. A single-group deployment replicates on
+	// every node (the first starts as Paxos leader); a sharded one
+	// spreads each group's Replicas over the pool, shard s leading on
+	// Nodes[s % len(Nodes)].
 	Nodes []*core.Node
-	// BaseID is the first actor ID; replica k uses BaseID+4k..BaseID+4k+3.
+	// BaseID is the first actor ID; group g's replica k uses
+	// BaseID + g·4·len(Nodes) + 4k .. +4k+3.
 	BaseID actor.ID
 	// MemLimit is the Memtable size triggering minor compaction.
 	MemLimit int
@@ -115,18 +124,36 @@ type RKVSpec struct {
 	// Retry is the suggested client policy (exposed via RKV.Retry; the
 	// deployment itself sends nothing).
 	Retry RetryPolicy
-	// Failover configures the leader-failover monitor.
+	// Failover configures the leader-failover monitor (per group when
+	// sharded).
 	Failover FailoverPolicy
 	// Faults is an optional failure schedule installed at deploy time.
 	Faults fault.Schedule
+	// Shards splits the key space over that many independent replica
+	// groups (0 or 1 = the classic single group).
+	Shards int
+	// Replicas bounds each group's replication factor. 0 keeps the
+	// legacy behavior for a single group (replicate on every node) and
+	// defaults to min(3, len(Nodes)) when sharded.
+	Replicas int
+	// ShardVNodes sets the router's virtual nodes per shard
+	// (0 = shard.DefaultVNodes).
+	ShardVNodes int
 }
 
-// RKV is a deployed replica group plus its recovery machinery.
+// RKV is a deployed replica group set plus its recovery machinery. The
+// embedded Deployment is Groups[0], so single-group callers keep their
+// old surface; sharded callers route through ShardFor/LeaderFor.
 type RKV struct {
 	*rkv.Deployment
+	// Groups holds one replica group per shard.
+	Groups []*rkv.Deployment
+	// Router maps keys to shards (nil is never returned; a single-group
+	// deployment gets a one-shard ring).
+	Router   *shard.Ring
 	Spec     RKVSpec
 	Injector *fault.Injector
-	// Elections counts failover-triggered elections.
+	// Elections counts failover-triggered elections across all groups.
 	Elections uint64
 }
 
@@ -135,57 +162,157 @@ func (s RKVSpec) Deploy() (*RKV, error) {
 	if len(s.Nodes) == 0 {
 		return nil, fmt.Errorf("deploy: RKVSpec needs at least one node")
 	}
-	cl := s.Nodes[0].Cluster()
-	d, err := rkv.Deploy(s.Nodes, s.BaseID, s.MemLimit, s.Placement.OnNIC)
-	if err != nil {
-		return nil, err
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
 	}
-	out := &RKV{Deployment: d, Spec: s}
+	reps := s.Replicas
+	if reps > len(s.Nodes) {
+		return nil, fmt.Errorf("deploy: RKVSpec wants %d replicas from %d nodes", reps, len(s.Nodes))
+	}
+	if reps <= 0 {
+		if shards > 1 {
+			reps = 3
+			if reps > len(s.Nodes) {
+				reps = len(s.Nodes)
+			}
+		} else {
+			reps = len(s.Nodes) // legacy: one group over every node
+		}
+	}
+	cl := s.Nodes[0].Cluster()
+	out := &RKV{Spec: s}
+	for g := 0; g < shards; g++ {
+		// Rotate each group's replica set so leaders (replica 0) land on
+		// distinct nodes and follower load spreads evenly.
+		nodes := make([]*core.Node, reps)
+		for k := range nodes {
+			nodes[k] = s.Nodes[(g+k)%len(s.Nodes)]
+		}
+		base := s.BaseID + actor.ID(g*4*len(s.Nodes))
+		d, err := rkv.Deploy(nodes, base, s.MemLimit, s.Placement.OnNIC)
+		if err != nil {
+			return nil, err
+		}
+		if shards > 1 {
+			d.TagShard(g)
+		}
+		out.Groups = append(out.Groups, d)
+	}
+	out.Deployment = out.Groups[0]
+	vn := s.ShardVNodes
+	if vn <= 0 {
+		vn = shard.DefaultVNodes
+	}
+	out.Router = shard.New(shards, vn)
 	if !s.Failover.Disabled {
 		out.installFailover(cl)
 	}
+	if shards > 1 {
+		out.registerShardMetrics(cl)
+	}
+	var err error
 	if out.Injector, err = installFaults(cl, s.Faults); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// installFailover registers a membership listener modeling the replica
-// group's failure detector: when the node hosting the current leader
-// dies, after the detection delay the first live replica (in replica
-// order) is told to run an election. Passive until a node actually
-// fails.
+// ShardFor returns the shard owning key per the router.
+func (r *RKV) ShardFor(key []byte) int { return r.Router.Lookup(key) }
+
+// Group returns shard g's replica group.
+func (r *RKV) Group(g int) *rkv.Deployment { return r.Groups[g] }
+
+// LeaderFor routes a key: the node name and consensus actor ID of the
+// owning group's current leader (falling back to the group's first
+// replica while an election is in flight, whose redirect machinery
+// then points the client at the winner).
+func (r *RKV) LeaderFor(key []byte) (string, actor.ID) {
+	g := r.Groups[r.Router.Lookup(key)]
+	rep := g.Leader()
+	if rep == nil {
+		rep = g.Replicas[0]
+	}
+	return rep.Node.Name, rep.Consensus.Actor.ID
+}
+
+// Reshard removes shard g from the router after its group is lost
+// beyond recovery: only that shard's ≈1/N of the key space remaps (to
+// the surviving groups); every other key keeps its owner. The group's
+// actors are not torn down — they simply stop receiving routed keys.
+func (r *RKV) Reshard(g int) { r.Router.Remove(g) }
+
+// installFailover registers a membership listener modeling each replica
+// group's failure detector: when the node hosting a group's current
+// leader dies, after the detection delay the group's first live replica
+// (in replica order) is told to run an election. Passive until a node
+// actually fails.
 func (r *RKV) installFailover(cl *core.Cluster) {
 	detect := r.Spec.Failover.Detect
 	if detect <= 0 {
 		detect = DefaultDetect
 	}
 	cl.OnMembership(func(node string, down bool) {
-		if !down || !r.hostsLeader(node) {
+		if !down {
 			return
 		}
-		cl.Eng.After(detect, func() {
-			// Re-check at detection time: the leader may have recovered,
-			// or an election may already have installed a live one.
-			if l := r.liveLeader(); l != nil {
-				return
+		for _, g := range r.Groups {
+			if !groupHostsLeader(g, node) {
+				continue
 			}
-			for _, rep := range r.Replicas {
-				if rep.Node.Down() {
-					continue
+			g := g
+			cl.Eng.After(detect, func() {
+				// Re-check at detection time: the leader may have recovered,
+				// or an election may already have installed a live one.
+				if l := liveLeader(g); l != nil {
+					return
 				}
-				r.Elections++
-				rep.Node.Inject(actor.Msg{Kind: rkv.KindElect, Dst: rep.Consensus.Actor.ID})
-				return
-			}
-		})
+				for _, rep := range g.Replicas {
+					if rep.Node.Down() {
+						continue
+					}
+					r.Elections++
+					rep.Node.Inject(actor.Msg{Kind: rkv.KindElect, Dst: rep.Consensus.Actor.ID})
+					return
+				}
+			})
+		}
 	})
 }
 
-// hostsLeader reports whether the named node hosts a replica that
-// currently believes it is leader.
-func (r *RKV) hostsLeader(node string) bool {
-	for _, rep := range r.Replicas {
+// registerShardMetrics exposes per-shard commit/redirect counters when
+// the cluster has a metrics collector, so sharded runs can attribute
+// load per shard alongside the shard-tagged execution spans.
+func (r *RKV) registerShardMetrics(cl *core.Cluster) {
+	col := cl.Collector()
+	if col == nil {
+		return
+	}
+	for g, d := range r.Groups {
+		d := d
+		reg := col.Registry(fmt.Sprintf("%srkv-shard%02d", cl.ObsPrefix(), g))
+		reg.Counter("commits", func() uint64 {
+			var t uint64
+			for _, rep := range d.Replicas {
+				t += rep.Consensus.Commits
+			}
+			return t
+		})
+		reg.Counter("redirects", func() uint64 {
+			var t uint64
+			for _, rep := range d.Replicas {
+				t += rep.Consensus.Redirects
+			}
+			return t
+		})
+	}
+}
+
+// groupHostsLeader reports whether the named node hosts a replica of g
+// that currently believes it is leader.
+func groupHostsLeader(g *rkv.Deployment, node string) bool {
+	for _, rep := range g.Replicas {
 		if rep.Node.Name == node && rep.Consensus.IsLeader {
 			return true
 		}
@@ -193,10 +320,10 @@ func (r *RKV) hostsLeader(node string) bool {
 	return false
 }
 
-// liveLeader returns the leader replica if its node is up (nil
+// liveLeader returns g's leader replica if its node is up (nil
 // otherwise).
-func (r *RKV) liveLeader() *rkv.Replica {
-	l := r.Leader()
+func liveLeader(g *rkv.Deployment) *rkv.Replica {
+	l := g.Leader()
 	if l == nil || l.Node.Down() {
 		return nil
 	}

@@ -141,8 +141,13 @@ func (r *Ring) pop() (Message, bool) {
 }
 
 // needsCreditSync reports whether the consumer has read half the ring
-// since the last sync.
-func (r *Ring) needsCreditSync() bool { return r.consumed >= len(r.slots)/2 }
+// since the last sync. The consumed > 0 guard matters for tiny rings:
+// with capacity 1, len/2 is 0 and an unguarded comparison fires a
+// credit message (and its 40ns doorbell cost) on every poll, including
+// empty ones that consumed nothing.
+func (r *Ring) needsCreditSync() bool {
+	return r.consumed > 0 && r.consumed >= len(r.slots)/2
+}
 
 // syncCredits publishes the consumer position to the producer.
 func (r *Ring) syncCredits() {

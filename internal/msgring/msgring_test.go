@@ -261,6 +261,93 @@ func TestReadyCallbacksFire(t *testing.T) {
 	}
 }
 
+// Drive a ring through ≥4 full wraps at capacity with uneven drain
+// chunk sizes, crossing the half-ring credit boundary at every offset:
+// FIFO order must hold, nothing may be lost or duplicated, and the
+// producer's stale credit view may never lag by more than half a ring —
+// after a full drain it must accept at least slots/2 pushes (the lazy
+// half-ring sync liveness contract).
+func TestWrapBoundaryCreditAccounting(t *testing.T) {
+	const slots = 8
+	const total = slots * 6 // ≥ 4 full wraps of the buffer
+	eng, ch := newChannel(slots, 1)
+	next, want := 0, 0
+	chunks := []int{3, 1, 8, 2, 5, 4, 7, 6} // uneven drains hit every boundary offset
+	for iter := 0; next < total; iter++ {
+		// Fill until the producer's credit view says full.
+		filled := 0
+		for {
+			if _, err := ch.NICPush(Message{Kind: uint16(next)}); err != nil {
+				break
+			}
+			next++
+			filled++
+		}
+		if filled < slots/2 {
+			t.Fatalf("iteration %d: only %d credits after a full drain (sync lagged past half ring)", iter, filled)
+		}
+		eng.Run()
+		for want < next {
+			n := chunks[(want+iter)%len(chunks)]
+			msgs, _ := ch.HostPoll(n)
+			if len(msgs) == 0 {
+				t.Fatalf("iteration %d: poll returned nothing with %d queued", iter, next-want)
+			}
+			for _, m := range msgs {
+				if int(m.Kind) != want {
+					t.Fatalf("iteration %d: got kind %d, want %d (FIFO broken across wrap)", iter, m.Kind, want)
+				}
+				want++
+			}
+		}
+	}
+	if want != next {
+		t.Fatalf("drained %d of %d pushed", want, next)
+	}
+	r := ch.ToHost()
+	if r.Pushed != uint64(next) || r.Popped != uint64(want) {
+		t.Fatalf("counters Pushed=%d Popped=%d, want %d", r.Pushed, r.Popped, next)
+	}
+	// Lazy sync economics: a sync needs at least half a ring consumed, so
+	// the count is bounded by consumed/(slots/2) and must be well below
+	// one per message.
+	maxSyncs := uint64(want / (slots / 2))
+	if r.CreditSyncs < 4 || r.CreditSyncs > maxSyncs {
+		t.Fatalf("CreditSyncs=%d outside [4, %d]", r.CreditSyncs, maxSyncs)
+	}
+}
+
+// Regression: with a capacity-1 ring, half-ring is 0 and the unguarded
+// threshold fired a credit sync (and billed its doorbell cost) on every
+// poll — even empty ones that consumed nothing.
+func TestCapacityOneRingNoSpuriousCreditSync(t *testing.T) {
+	eng, ch := newChannel(1, 1)
+	for i := 0; i < 5; i++ {
+		ch.HostPoll(4) // empty polls: nothing consumed, nothing to sync
+	}
+	if n := ch.ToHost().CreditSyncs; n != 0 {
+		t.Fatalf("empty polls fired %d credit syncs", n)
+	}
+	if ch.CreditMessages != 0 {
+		t.Fatalf("empty polls sent %d credit messages", ch.CreditMessages)
+	}
+	// Real traffic still syncs: consume the single slot and the producer
+	// must get its credit back.
+	for i := 0; i < 3; i++ {
+		if _, err := ch.NICPush(Message{Kind: uint16(i)}); err != nil {
+			t.Fatalf("push %d: %v (credit never returned)", i, err)
+		}
+		eng.Run()
+		msgs, _ := ch.HostPoll(1)
+		if len(msgs) != 1 || int(msgs[0].Kind) != i {
+			t.Fatalf("poll %d returned %v", i, msgs)
+		}
+	}
+	if ch.ToHost().CreditSyncs != 3 {
+		t.Fatalf("CreditSyncs=%d, want one per consumed message", ch.ToHost().CreditSyncs)
+	}
+}
+
 func TestAppHandleSurvivesRing(t *testing.T) {
 	eng, ch := newChannel(16, 1)
 	type payload struct{ v int }

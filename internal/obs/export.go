@@ -45,8 +45,8 @@ func appendQuoted(b []byte, s string) []byte {
 // a process_name metadata event; each track becomes a thread (tid =
 // track index + 1) with thread_name and thread_sort_index metadata, so
 // the viewer shows lanes in registration order. Spans are "X" (complete)
-// events with ts/dur in microseconds and args {req, bytes, wait_us};
-// instants are "i" events with thread scope.
+// events with ts/dur in microseconds and args {req, bytes, wait_us,
+// shard}; instants are "i" events with thread scope.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var b []byte
@@ -148,6 +148,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			if sp.args.Wait > 0 {
 				arg("wait_us")
 				b = writeMicros(b, sp.args.Wait)
+			}
+			if sp.args.HasShard {
+				arg("shard")
+				b = strconv.AppendInt(b, int64(sp.args.Shard), 10)
 			}
 			b = append(b, `}}`...)
 			if err := put(); err != nil {

@@ -59,6 +59,10 @@ type Args struct {
 	// Wait annotates queueing delay spent before the span started
 	// (enqueue → service); emitted when > 0.
 	Wait sim.Time
+	// Shard attributes the span to a scale-out shard; only emitted when
+	// HasShard is set, since shard 0 is a valid id.
+	Shard    int32
+	HasShard bool
 }
 
 // span is one completed occupancy interval on a track.

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chiSquare computes Σ (obs-exp)²/exp against a uniform expectation.
+func chiSquare(counts []int, total int) float64 {
+	exp := float64(total) / float64(len(counts))
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - exp
+		x2 += d * d / exp
+	}
+	return x2
+}
+
+// Balance under uniform and Zipf(0.99) keys. A consistent-hash ring is
+// not a perfect uniform partition — vnode arc lengths vary — so the
+// chi-square statistic carries a systematic term ≈ N·Σ(p_i−1/k)²/(1/k)
+// on top of the sampling noise. With 128 vnodes per shard the arc-share
+// spread is small; the bound below is calibrated generously (an even
+// split of N=200k keys over 8 shards has E[χ²] = 7; we allow 0.02·N,
+// which only a badly clumped ring would exceed).
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 200000
+	r := New(shards, 0)
+	z := workload.NewZipf(sim.NewRand(11), 1_000_000, 0.99)
+	cases := []struct {
+		name  string
+		gen   func(i int) []byte
+		bound float64
+	}{
+		// Distinct uniform keys measure the ring itself: arcs within a few
+		// percent of fair, so chi-square stays tiny (0.02·N is ~570× the
+		// E[χ²]=7 of a perfect split — only a clumped ring exceeds it).
+		{"uniform", func(i int) []byte { return []byte(fmt.Sprintf("k%07d", i)) }, 0.02 * keys},
+		// Zipf(0.99) draws repeat hot keys, so wherever the ~6%-mass head
+		// key lands shifts one shard's count wholesale; the statistic is
+		// dominated by key weights, not ring quality. The generous bound
+		// still catches gross imbalance (everything on one shard scores
+		// (k−1)·N = 7·N).
+		{"zipf99", func(i int) []byte { return []byte(fmt.Sprintf("k%07d", z.Next())) }, 0.15 * keys},
+	}
+	for _, c := range cases {
+		counts := make([]int, shards)
+		for i := 0; i < keys; i++ {
+			counts[r.Lookup(c.gen(i))]++
+		}
+		x2 := chiSquare(counts, keys)
+		if x2 > c.bound {
+			t.Fatalf("%s: chi-square %.1f over bound %.0f (counts %v)", c.name, x2, c.bound, counts)
+		}
+		name := c.name
+		// No shard may be starved or hot beyond 2× its fair share.
+		for s, c := range counts {
+			share := float64(c) / keys
+			if share < 0.5/shards || share > 2.0/shards {
+				t.Fatalf("%s: shard %d share %.3f outside [%.3f, %.3f]",
+					name, s, share, 0.5/shards, 2.0/shards)
+			}
+		}
+	}
+}
+
+// Removing one shard must move only that shard's keys: ≤ (1/N + ε) of
+// the key space remaps, and every key that was NOT on the removed shard
+// keeps its owner (the consistent-hashing contract).
+func TestRingRemapFraction(t *testing.T) {
+	const shards, keys = 8, 100000
+	r := New(shards, 0)
+	before := make([]int, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.Lookup([]byte(fmt.Sprintf("k%07d", i)))
+	}
+	const victim = 3
+	r.Remove(victim)
+	if r.Shards() != shards-1 || r.Live(victim) {
+		t.Fatalf("Shards()=%d Live(%d)=%v after removal", r.Shards(), victim, r.Live(victim))
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := r.Lookup([]byte(fmt.Sprintf("k%07d", i)))
+		if after == victim {
+			t.Fatalf("key %d still routed to removed shard", i)
+		}
+		if before[i] != after {
+			if before[i] != victim {
+				t.Fatalf("key %d moved %d→%d though shard %d was removed",
+					i, before[i], after, victim)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if eps := 0.04; frac > 1.0/shards+eps {
+		t.Fatalf("remapped %.3f of keys, want ≤ 1/%d + %.2f", frac, shards, eps)
+	}
+	if frac < 0.25/shards {
+		t.Fatalf("remapped only %.4f of keys; removed shard owned implausibly little", frac)
+	}
+}
+
+// The ring layout and lookups are pure functions of (shards, vnodes):
+// two rings built with the same parameters route identically, and
+// removal order of distinct shards commutes.
+func TestRingDeterministic(t *testing.T) {
+	a, b := New(6, 32), New(6, 32)
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i*7919))
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings diverge on %q", k)
+		}
+	}
+	a.Remove(2)
+	a.Remove(4)
+	b.Remove(4)
+	b.Remove(2)
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i*7919))
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("removal order changed routing for %q", k)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	one := New(1, 4)
+	if got := one.Lookup([]byte("anything")); got != 0 {
+		t.Fatalf("single-shard ring routed to %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing the last shard did not panic")
+		}
+	}()
+	one.Remove(0)
+}

@@ -166,26 +166,35 @@ func (s *Sample) Observe(x float64) {
 func (s *Sample) Count() uint64 { return s.seen }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank
-// on the retained values; 0 when empty.
+// on the retained values; 0 when empty. An empty sample's 0 is
+// indistinguishable from a true 0 measurement — reporters that can see
+// empty samples should use PercentileOK instead.
 func (s *Sample) Percentile(p float64) float64 {
+	v, _ := s.PercentileOK(p)
+	return v
+}
+
+// PercentileOK is Percentile with an explicit emptiness signal: ok is
+// false (and the value 0) when no values were retained.
+func (s *Sample) PercentileOK(p float64) (float64, bool) {
 	if len(s.values) == 0 {
-		return 0
+		return 0, false
 	}
 	if !s.sorted {
 		sort.Float64s(s.values)
 		s.sorted = true
 	}
 	if p <= 0 {
-		return s.values[0]
+		return s.values[0], true
 	}
 	if p >= 100 {
-		return s.values[len(s.values)-1]
+		return s.values[len(s.values)-1], true
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(s.values))))
 	if rank < 1 {
 		rank = 1
 	}
-	return s.values[rank-1]
+	return s.values[rank-1], true
 }
 
 // Mean returns the mean of retained values.

@@ -236,3 +236,39 @@ func TestSampleReset(t *testing.T) {
 		t.Fatal("Reset did not clear")
 	}
 }
+
+func TestPercentileOKDistinguishesEmpty(t *testing.T) {
+	s := NewSample()
+	if v, ok := s.PercentileOK(50); ok || v != 0 {
+		t.Fatalf("empty sample: got (%v, %v), want (0, false)", v, ok)
+	}
+	s.Observe(0) // a legitimate zero observation
+	v, ok := s.PercentileOK(99)
+	if !ok || v != 0 {
+		t.Fatalf("single zero observation: got (%v, %v), want (0, true)", v, ok)
+	}
+	s.Observe(10)
+	if v, ok := s.PercentileOK(100); !ok || v != 10 {
+		t.Fatalf("p100 = (%v, %v), want (10, true)", v, ok)
+	}
+	// Percentile stays the ambiguous-zero compatibility shim.
+	if got := NewSample().Percentile(50); got != 0 {
+		t.Fatalf("empty Percentile = %v, want 0", got)
+	}
+}
+
+func TestPercentileOKMatchesPercentile(t *testing.T) {
+	s := NewSample()
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		v, ok := s.PercentileOK(p)
+		if !ok {
+			t.Fatalf("p%v not ok on populated sample", p)
+		}
+		if got := s.Percentile(p); got != v {
+			t.Fatalf("p%v: Percentile %v != PercentileOK %v", p, got, v)
+		}
+	}
+}

@@ -76,7 +76,14 @@ type Request struct {
 // when the reply lands. With Timeout set, lost requests are re-sent up
 // to Retries times; duplicate responses (a late original racing a
 // retry) are counted once.
-func (cl *Client) Send(r Request) {
+func (cl *Client) Send(r Request) { cl.send(r, nil) }
+
+// send is Send with a pluggable first transmission: when stage is
+// non-nil the initial attempt is handed to it (a Batcher parks it in a
+// message train) instead of going on the wire; timeout-driven retries
+// always re-send as plain packets, so retry latency is never inflated
+// by a second batching window.
+func (cl *Client) send(r Request, stage func(m actor.Msg, size int)) {
 	size := r.Size
 	if size == 0 {
 		size = len(r.Data) + 48
@@ -110,11 +117,11 @@ func (cl *Client) Send(r Request) {
 			Origin: cl.Name,
 			Reply:  reply,
 		}
-		cl.net.Send(&netsim.Packet{
-			Src: cl.Name, Dst: r.Node, Size: size,
-			FlowID:  r.FlowID,
-			Payload: m,
-		})
+		if attempt == 0 && stage != nil {
+			stage(m, size)
+		} else {
+			cl.emit(r.Node, m, size)
+		}
 		if r.Timeout <= 0 {
 			return
 		}
@@ -146,9 +153,24 @@ func (cl *Client) Send(r Request) {
 	fire()
 }
 
+// emit puts one prepared message on the wire as its own packet.
+func (cl *Client) emit(node string, m actor.Msg, size int) {
+	cl.net.Send(&netsim.Packet{
+		Src: cl.Name, Dst: node, Size: size,
+		FlowID:  m.FlowID,
+		Payload: m,
+	})
+}
+
 // OpenLoop drives requests with Poisson interarrivals at the given rate
 // (requests/sec) for the duration, calling gen for each request.
 func (cl *Client) OpenLoop(rate float64, dur sim.Time, gen func(i uint64) Request) {
+	cl.OpenLoopVia(rate, dur, gen, cl.Send)
+}
+
+// OpenLoopVia is OpenLoop with a pluggable send path — pass a Batcher's
+// Add to coalesce same-shard requests into message trains.
+func (cl *Client) OpenLoopVia(rate float64, dur sim.Time, gen func(i uint64) Request, send func(Request)) {
 	if rate <= 0 {
 		return
 	}
@@ -159,7 +181,7 @@ func (cl *Client) OpenLoop(rate float64, dur sim.Time, gen func(i uint64) Reques
 		if cl.eng.Now() >= deadline {
 			return
 		}
-		cl.Send(gen(i))
+		send(gen(i))
 		i++
 		gap := sim.Time(cl.eng.Rand().Exp(1e9 / rate))
 		if gap < 1 {
@@ -172,6 +194,12 @@ func (cl *Client) OpenLoop(rate float64, dur sim.Time, gen func(i uint64) Reques
 
 // ClosedLoop keeps `depth` requests outstanding until the deadline.
 func (cl *Client) ClosedLoop(depth int, dur sim.Time, gen func(i uint64) Request) {
+	cl.ClosedLoopVia(depth, dur, gen, cl.Send)
+}
+
+// ClosedLoopVia is ClosedLoop with a pluggable send path — pass a
+// Batcher's Add to coalesce same-shard requests into message trains.
+func (cl *Client) ClosedLoopVia(depth int, dur sim.Time, gen func(i uint64) Request, send func(Request)) {
 	deadline := cl.eng.Now() + dur
 	var i uint64
 	var issue func()
@@ -188,7 +216,7 @@ func (cl *Client) ClosedLoop(depth int, dur sim.Time, gen func(i uint64) Request
 			}
 			issue()
 		}
-		cl.Send(r)
+		send(r)
 	}
 	for k := 0; k < depth; k++ {
 		cl.eng.Defer(issue)
@@ -208,10 +236,27 @@ type Zipf struct {
 	zeta2 float64
 }
 
-// NewZipf builds a generator. It precomputes ζ(n, θ) once.
+// eulerGamma is the Euler–Mascheroni constant, used by the harmonic
+// (θ=1) inverse CDF: H_k ≈ ln k + γ.
+const eulerGamma = 0.5772156649015329
+
+// NewZipf builds a generator. It precomputes ζ(n, θ) once. n must be at
+// least 2 and θ in [0, 1]: outside that range the Gray et al. rejection
+// constants are ±Inf/NaN and every draw silently collapses onto a
+// handful of keys, so the constructor panics instead. θ=1 — where
+// alpha = 1/(1-θ) is singular — takes the harmonic-case branch in Next.
 func NewZipf(rnd *sim.Rand, n uint64, theta float64) *Zipf {
+	if n < 2 {
+		panic("workload: Zipf needs n >= 2 keys")
+	}
+	if theta < 0 || theta > 1 {
+		panic("workload: Zipf skew must be in [0, 1]")
+	}
 	z := &Zipf{rnd: rnd, n: n, theta: theta}
 	z.zetan = zeta(n, theta)
+	if theta == 1 {
+		return z // alpha/eta unused on the harmonic branch
+	}
 	z.zeta2 = zeta(2, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
@@ -236,7 +281,14 @@ func (z *Zipf) Next() uint64 {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	var v uint64
+	if z.theta == 1 {
+		// Harmonic case: invert H_k = u·H_n via H_k ≈ ln k + γ, i.e.
+		// k ≈ exp(u·ζ(n,1) − γ). The two head buckets above are exact.
+		v = uint64(math.Exp(uz - eulerGamma))
+	} else {
+		v = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
 	if v >= z.n {
 		v = z.n - 1
 	}

@@ -47,6 +47,80 @@ func TestZipfTheoreticalHead(t *testing.T) {
 	}
 }
 
+// Regression for the θ→1 collapse: the Gray et al. constants alpha =
+// 1/(1-θ) and eta are singular at θ=1 (±Inf / 0), which made every draw
+// land on one of ~3 keys and silently destroyed skew experiments. Both
+// high-θ settings must keep real dispersion and a plausible head share.
+func TestZipfHighSkewDispersion(t *testing.T) {
+	const keys = 1_000_000
+	const draws = 20000
+	for _, theta := range []float64{0.99, 1.0} {
+		z := NewZipf(sim.NewRand(13), keys, theta)
+		counts := map[uint64]int{}
+		top := 0
+		for i := 0; i < draws; i++ {
+			v := z.Next()
+			if v >= keys {
+				t.Fatalf("θ=%v: draw %d out of range", theta, v)
+			}
+			counts[v]++
+			if counts[v] > top {
+				top = counts[v]
+			}
+		}
+		// The broken generator produced ≤ 3 distinct values; a working one
+		// spreads thousands of distinct keys over 20k draws even at θ=1.
+		if len(counts) < draws/20 {
+			t.Fatalf("θ=%v: only %d distinct keys in %d draws (collapsed)", theta, len(counts), draws)
+		}
+		// Still Zipfian: the hottest key holds a few percent — far above a
+		// uniform share but nowhere near a collapse.
+		if share := float64(top) / draws; share < 0.01 || share > 0.30 {
+			t.Fatalf("θ=%v: hottest key share %.3f outside (0.01, 0.30)", theta, share)
+		}
+	}
+}
+
+// θ=1 draws must follow the harmonic distribution: P(0) ≈ 1/H_n.
+func TestZipfHarmonicHead(t *testing.T) {
+	const keys = 10000
+	z := NewZipf(sim.NewRand(17), keys, 1.0)
+	want := 1 / z.zetan
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if z.Next() == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("θ=1: P(0) = %v, want ≈%v", got, want)
+	}
+}
+
+func TestZipfRejectsDegenerateParams(t *testing.T) {
+	cases := []struct {
+		n     uint64
+		theta float64
+	}{
+		{1, 0.99},  // n<2: eta divides by Pow(2/1,...) nonsense
+		{0, 0.99},  // no keys at all
+		{100, 1.5}, // θ>1: alpha negative, draws nonsensical
+		{100, -1},  // negative skew undefined for this algorithm
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(n=%d, θ=%v) did not panic", c.n, c.theta)
+				}
+			}()
+			NewZipf(sim.NewRand(1), c.n, c.theta)
+		}()
+	}
+}
+
 func TestExponentialDist(t *testing.T) {
 	d := Exponential{R: sim.NewRand(3), M: 32 * sim.Microsecond}
 	var w float64

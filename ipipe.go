@@ -69,6 +69,10 @@ type (
 	Client = workload.Client
 	// Request is one client request.
 	Request = workload.Request
+	// Batcher coalesces same-destination requests into message trains
+	// (the paper's I6 insight); drive it via Client.ClosedLoopVia /
+	// OpenLoopVia with Batcher.Add as the send path.
+	Batcher = workload.Batcher
 	// NICModel is a SmartNIC hardware profile.
 	NICModel = spec.NICModel
 	// HostModel is a host server profile.
@@ -97,6 +101,14 @@ func NewCluster(seed uint64) *Cluster { return core.NewCluster(seed) }
 // NewClient attaches a load generator to the cluster's network.
 func NewClient(c *Cluster, name string, gbps float64) *Client {
 	return workload.NewClient(c, name, gbps)
+}
+
+// NewBatcher wraps a client with request batching: requests staged via
+// Add that share a destination within the window leave as one message
+// train. window <= 0 uses the default (2µs); maxBatch <= 1 disables
+// coalescing (Add degenerates to Client.Send).
+func NewBatcher(c *Client, window Duration, maxBatch int) *Batcher {
+	return workload.NewBatcher(c, window, maxBatch)
 }
 
 // NewTracer creates a request tracer; attach it with Cluster.EnableTracing
