@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
 		./internal/shard/... ./internal/workload/... ./internal/msgring/... \
-		./internal/stats/...
+		./internal/stats/... ./internal/invariant/... ./internal/sched/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -47,9 +47,20 @@ scale-smoke:
 	$(GO) run ./cmd/ipipe-bench -quick scale-shards scale-batch >/dev/null
 	@echo "scale-smoke: ok"
 
+# invariant-smoke: audit runtime invariants on a live simulation, then
+# golden-replay a registry subset covering faults, queue-model ablation,
+# sharded scale-out, and a multi-cluster sweep (serial vs parallel
+# fingerprints must match byte-for-byte). The full registry runs with
+# `ipipe-bench -quick -check all` (~35s).
+invariant-smoke:
+	$(GO) run ./cmd/ipipe-sim -app rkv -nic cn2350 -duration 5ms -check >/dev/null
+	$(GO) run ./cmd/ipipe-bench -quick -check \
+		faults-availability fig17 ablate-queue scale-shards
+	@echo "invariant-smoke: ok"
+
 # check: the CI step — static analysis, the race suite, and the
-# observability smoke tests.
-check: vet race trace-smoke fault-smoke scale-smoke
+# observability and invariant smoke tests.
+check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

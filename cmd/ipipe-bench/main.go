@@ -10,6 +10,12 @@
 // reports. -json emits one NDJSON record per experiment instead,
 // including wall time and simulated-event throughput. -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// -check replaces the normal run with a golden-fingerprint replay: each
+// experiment runs at two seeds, serially and with a parallel sweep,
+// with the runtime invariant checker attached to every cluster; the
+// invariant fingerprints must match byte-for-byte and no invariant may
+// be violated. Exits nonzero otherwise.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace of every simulated cluster to `file` (forces -parallel 1)")
 	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file` (forces -parallel 1)")
 	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
+	check := flag.Bool("check", false, "golden replay: run with invariant checking at two seeds × serial/parallel and compare fingerprints")
 	flag.Parse()
 
 	ids := flag.Args()
@@ -51,6 +58,21 @@ func main() {
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = bench.IDs()
+	}
+
+	if *check {
+		if *traceFile != "" || *metricsFile != "" {
+			fatal(fmt.Errorf("-check cannot be combined with -trace/-metrics (both claim the cluster observer hook)"))
+		}
+		rep, err := bench.GoldenReplay(ids, bench.Options{Quick: *quick, Seed: *seed}, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fprint(os.Stdout)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cpuprofile != "" {

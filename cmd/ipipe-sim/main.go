@@ -56,6 +56,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file`")
 	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
+	check := flag.Bool("check", false, "audit runtime invariants during the run; exit 1 on any violation")
 	flag.Parse()
 
 	nic, ok := nicByFlag(*nicName)
@@ -78,6 +79,10 @@ func main() {
 	if *metricsFile != "" {
 		collector = ipipe.NewMetricsCollector(cl, ipipe.Duration(metricsInterval.Nanoseconds()))
 		cl.EnableMetrics(collector)
+	}
+	var checker *ipipe.InvariantChecker
+	if *check {
+		checker = ipipe.NewInvariantChecker(cl)
 	}
 	mkNode := func(name string) *ipipe.Node {
 		cfg := ipipe.NodeConfig{Name: name, NIC: nic, LinkGbps: linkOf(nic)}
@@ -245,6 +250,14 @@ func main() {
 	cl.Eng.Run()
 	if collector != nil {
 		collector.Snapshot() // end-state record
+	}
+	if checker != nil {
+		checker.Finish()
+		fmt.Fprintln(os.Stderr, checker.Summary())
+		if err := checker.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if tracer != nil {

@@ -44,6 +44,10 @@ type Msg struct {
 	// Via records how the message reached the current runtime, which
 	// determines the I/O cost charged on delivery.
 	Via Via
+	// AuditSeq is the ingress-queue FIFO-audit sequence stamped on push
+	// when invariant checking is enabled (0 otherwise); it lets the
+	// checker match each pop to its push without a side table.
+	AuditSeq uint64
 	// Origin is the network node the request entered from; Reply routes
 	// the response back there.
 	Origin string

@@ -53,6 +53,12 @@ type Consensus struct {
 	merged    map[uint64]*instState
 	onElected func()
 
+	// OnLead, if set, observes every leadership claim with the winning
+	// ballot (including the initial leader's implicit ballot-1 claim,
+	// reported by the deployer). The invariant checker uses it to enforce
+	// single-leader-per-ballot across a replica group.
+	OnLead func(ballot uint64)
+
 	// Commits and Redirects count outcomes.
 	Commits   uint64
 	Redirects uint64
@@ -356,6 +362,9 @@ func (c *Consensus) checkElected(ctx actor.Ctx) {
 	}
 	c.electing = false
 	c.IsLeader = true
+	if c.OnLead != nil {
+		c.OnLead(c.ballot)
+	}
 	// Choose the next available instance and re-propose every merged
 	// entry that is not yet committed locally, in sorted instance order
 	// so the re-proposal message sequence is deterministic.

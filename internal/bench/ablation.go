@@ -132,7 +132,7 @@ func ablateQueue(opts Options) *Result {
 	for _, row := range rows {
 		r.Add(row...)
 	}
-	r.Note("work stealing repairs the shuffle layer's flow-steering imbalance (ZygOS-style); the IOKernel dispatcher balances perfectly but loses a core and adds a routing hop; the hardware queue needs neither (I2)")
+	r.Note("work stealing repairs the shuffle layer's flow-steering imbalance (ZygOS-style); the IOKernel dispatcher loses a core, adds a routing hop, and pins each flow to one worker to keep it ordered — so few-flow workloads can use only as many workers as flows; the hardware queue needs neither (I2)")
 	return r
 }
 

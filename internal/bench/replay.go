@@ -1,0 +1,130 @@
+package bench
+
+// Golden-fingerprint replay: rerun registered experiments with the
+// runtime invariant checker attached to every cluster they build, then
+// byte-compare the invariant fingerprints (per-epoch and final counter
+// snapshots, see internal/invariant) between a serial and a parallel
+// sweep of the same experiment at the same seed. Any divergence means
+// the parallel sweep runner changed simulation behavior — exactly the
+// class of bug a performance-focused refactor can introduce silently.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+)
+
+// ReplayReport summarizes a GoldenReplay sweep.
+type ReplayReport struct {
+	// Experiments and Runs count experiment ids and individual checked
+	// runs (each id runs at two seeds × serial/parallel = 4 runs).
+	Experiments int
+	Runs        int
+	// Clusters counts clusters that had a checker attached; Checks the
+	// individual invariant evaluations across all of them.
+	Clusters int
+	Checks   uint64
+	// Violations holds every invariant violation observed, annotated
+	// with the run that produced it.
+	Violations []string
+	// Mismatches lists runs whose serial and parallel fingerprints
+	// differ byte-for-byte.
+	Mismatches []string
+}
+
+// OK reports whether the replay saw no violations and no mismatches.
+func (r *ReplayReport) OK() bool {
+	return len(r.Violations) == 0 && len(r.Mismatches) == 0
+}
+
+// Fprint renders the report.
+func (r *ReplayReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "golden replay: %d experiments, %d runs, %d checked clusters, %d invariant checks\n",
+		r.Experiments, r.Runs, r.Clusters, r.Checks)
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  VIOLATION %s\n", v)
+	}
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(w, "  MISMATCH  %s\n", m)
+	}
+	if r.OK() {
+		fmt.Fprintln(w, "  all invariants hold; serial and parallel fingerprints match")
+	}
+}
+
+// checkedRun executes one experiment with an invariant checker attached
+// to every cluster it builds, returning the run's combined fingerprint
+// (per-cluster fingerprints sorted, so cluster creation order — which a
+// parallel sweep does not fix — cannot affect the comparison).
+func checkedRun(id, tag string, opts Options) (fingerprint string, violations []string, clusters int, checks uint64, err error) {
+	var mu sync.Mutex
+	var chks []*invariant.Checker
+	core.SetDefaultObserver(func(c *core.Cluster) {
+		chk := invariant.New(c.Eng)
+		c.EnableInvariants(chk)
+		mu.Lock()
+		chks = append(chks, chk)
+		mu.Unlock()
+	})
+	_, err = Run(id, opts)
+	core.SetDefaultObserver(nil)
+	if err != nil {
+		return "", nil, 0, 0, err
+	}
+	fps := make([]string, 0, len(chks))
+	for _, chk := range chks {
+		chk.Finish()
+		checks += chk.Checks()
+		for _, v := range chk.Violations() {
+			violations = append(violations, fmt.Sprintf("%s %s: %s", id, tag, v.String()))
+		}
+		fps = append(fps, chk.Fingerprint())
+	}
+	return invariant.SortFingerprints(fps), violations, len(chks), checks, nil
+}
+
+// GoldenReplay runs each experiment id at two seeds (opts.Seed and
+// opts.Seed+1), serially and with a parallel sweep of the given worker
+// count, checking invariants throughout and byte-comparing the two
+// fingerprints per (id, seed). Experiments that build no clusters (the
+// raw device characterizations) contribute empty — trivially equal —
+// fingerprints. GoldenReplay installs the process-wide cluster observer
+// hook, so it must not run concurrently with other harness users.
+func GoldenReplay(ids []string, opts Options, workers int) (*ReplayReport, error) {
+	if workers < 2 {
+		workers = 4
+	}
+	rep := &ReplayReport{}
+	for _, id := range ids {
+		rep.Experiments++
+		for _, seed := range []uint64{opts.seed(), opts.seed() + 1} {
+			runOpts := opts
+			runOpts.Seed = seed
+
+			runOpts.Parallel = 1
+			sfp, sviol, scl, sch, err := checkedRun(id, fmt.Sprintf("seed=%d serial", seed), runOpts)
+			if err != nil {
+				return nil, err
+			}
+			runOpts.Parallel = workers
+			pfp, pviol, pcl, pch, err := checkedRun(id, fmt.Sprintf("seed=%d parallel", seed), runOpts)
+			if err != nil {
+				return nil, err
+			}
+
+			rep.Runs += 2
+			rep.Clusters += scl + pcl
+			rep.Checks += sch + pch
+			rep.Violations = append(rep.Violations, sviol...)
+			rep.Violations = append(rep.Violations, pviol...)
+			if sfp != pfp {
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("%s seed=%d: serial and parallel invariant fingerprints differ", id, seed))
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenReplaySubset is the tier-1 slice of the golden-replay
+// harness: a fault-schedule experiment (epoch fingerprints) and a
+// multi-cluster sweep, quick mode, serial vs parallel. The full
+// registry runs under `make invariant-smoke` / `ipipe-bench -check`.
+func TestGoldenReplaySubset(t *testing.T) {
+	rep, err := GoldenReplay([]string{"faults-availability", "fig17"}, Options{Quick: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clusters == 0 || rep.Checks == 0 {
+		t.Fatalf("replay checked nothing: %+v", rep)
+	}
+	if !rep.OK() {
+		var buf strings.Builder
+		rep.Fprint(&buf)
+		t.Fatal(buf.String())
+	}
+}
+
+func TestGoldenReplayUnknownID(t *testing.T) {
+	if _, err := GoldenReplay([]string{"no-such-experiment"}, Options{}, 2); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

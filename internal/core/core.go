@@ -18,6 +18,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/dmo"
 	"repro/internal/hostsim"
+	"repro/internal/invariant"
 	"repro/internal/isolation"
 	"repro/internal/msgring"
 	"repro/internal/netsim"
@@ -65,6 +66,7 @@ type Cluster struct {
 	tracer    *obs.Tracer
 	collector *obs.Collector
 	obsPrefix string
+	checker   *invariant.Checker
 
 	// onMembership listeners observe node crash/recovery transitions
 	// (see OnMembership in fault.go).
@@ -306,6 +308,9 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 	}
 	if c.collector != nil {
 		n.enableMetrics(c.collector)
+	}
+	if c.checker != nil {
+		n.enableInvariants(c.checker)
 	}
 	return n
 }

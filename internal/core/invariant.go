@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/invariant"
+)
+
+// This file wires internal/invariant into the node runtime, mirroring
+// the obs wiring in obs.go: one checker per cluster, threaded into the
+// network fabric and into every current and future node's scheduler,
+// message rings, traffic gate, and DMO store.
+
+// EnableInvariants attaches a runtime invariant checker to the cluster.
+// Call at most once, before the engine runs (the FIFO and byte-shadow
+// audits must see every push/alloc from the start); a nil checker is
+// ignored. The fault injector picks the checker up at Install time and
+// stamps a fingerprint epoch at every fault activation/restoration.
+func (c *Cluster) EnableInvariants(chk *invariant.Checker) {
+	if chk == nil || c.checker != nil {
+		return
+	}
+	c.checker = chk
+	c.Net.EnableInvariants(chk)
+	for _, name := range c.nodeNames() {
+		c.nodes[name].enableInvariants(chk)
+	}
+}
+
+// Checker returns the cluster's invariant checker (nil when checking is
+// disabled — the nil receiver is the no-op state).
+func (c *Cluster) Checker() *invariant.Checker { return c.checker }
+
+func (n *Node) enableInvariants(chk *invariant.Checker) {
+	if n.Sched != nil {
+		n.Sched.EnableInvariants(chk, n.Name)
+	}
+	if n.Chan != nil {
+		n.Chan.EnableInvariants(chk, n.Name)
+	}
+	if n.Gate != nil {
+		n.Gate.EnableInvariants(chk)
+	}
+	n.Objects.EnableInvariants(chk, n.Name)
+}

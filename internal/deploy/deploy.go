@@ -200,6 +200,23 @@ func (s RKVSpec) Deploy() (*RKV, error) {
 		out.Groups = append(out.Groups, d)
 	}
 	out.Deployment = out.Groups[0]
+	if chk := cl.Checker(); chk.Enabled() {
+		// Report every leadership claim (initial leaders and election
+		// winners) so the checker can enforce single-leader-per-ballot
+		// within each replica group.
+		for g, d := range out.Groups {
+			label := fmt.Sprintf("rkv-g%02d", g)
+			for k, rep := range d.Replicas {
+				k := k
+				rep.Consensus.OnLead = func(ballot uint64) {
+					chk.LeaderClaim(label, ballot, k)
+				}
+				if rep.Consensus.IsLeader {
+					chk.LeaderClaim(label, 1, k)
+				}
+			}
+		}
+	}
 	vn := s.ShardVNodes
 	if vn <= 0 {
 		vn = shard.DefaultVNodes

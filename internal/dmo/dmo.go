@@ -17,6 +17,8 @@ package dmo
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/invariant"
 )
 
 // ObjID names a distributed memory object. IDs are unique per deployment
@@ -74,11 +76,27 @@ type Store struct {
 	// BytesMigrated accumulates migration volume (drives Figure 18's
 	// phase-3 cost).
 	BytesMigrated uint64
+
+	// chk/chkLabel: the invariant checker shadows region byte accounting
+	// (alloc = free + live, never over limit); nil = disabled.
+	chk      *invariant.Checker
+	chkLabel string
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{objects: map[ObjID]*object{}, regions: map[uint32]*region{}, nextID: 1}
+}
+
+// EnableInvariants attaches the byte-accounting checker; label names
+// this store (the node) in reports. Attach before the first Alloc or
+// the shadow counts start behind the real ones.
+func (s *Store) EnableInvariants(chk *invariant.Checker, label string) {
+	if chk == nil || s.chk != nil {
+		return
+	}
+	s.chk = chk
+	s.chkLabel = label
 }
 
 // Register provisions an actor's memory region of limit bytes. On the
@@ -117,6 +135,7 @@ func (s *Store) Alloc(actor uint32, size int, side Side) (ObjID, error) {
 	id := s.nextID
 	s.nextID++
 	s.objects[id] = &object{owner: actor, side: side, data: make([]byte, size)}
+	s.chk.DMOAlloc(s.chkLabel, actor, size, r.used, r.limit)
 	return id, nil
 }
 
@@ -142,6 +161,7 @@ func (s *Store) Free(actor uint32, id ObjID) error {
 	}
 	s.regions[actor].used -= len(o.data)
 	delete(s.objects, id)
+	s.chk.DMOFree(s.chkLabel, actor, len(o.data), s.regions[actor].used)
 	return nil
 }
 
@@ -291,12 +311,15 @@ func (s *Store) ActorBytes(actor uint32) (nic, host int) {
 // DestroyActor frees every object and the region of a deregistered
 // actor (the DoS watchdog uses this, §3.4).
 func (s *Store) DestroyActor(actor uint32) {
+	freed := 0
 	for id, o := range s.objects {
 		if o.owner == actor {
+			freed += len(o.data)
 			delete(s.objects, id)
 		}
 	}
 	delete(s.regions, actor)
+	s.chk.DMODestroy(s.chkLabel, actor, freed)
 }
 
 // Objects reports the live object count (tests and leak checks).

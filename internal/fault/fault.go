@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -204,6 +205,10 @@ type Injector struct {
 	eng   *sim.Engine
 	tr    *obs.Tracer
 	track obs.TrackID
+	// chk, when the cluster has invariant checking on, receives a
+	// fingerprint epoch at every activation and restoration, so the
+	// conservation counters are snapshotted per fault window.
+	chk *invariant.Checker
 
 	// Injected counts fault activations; Active tracks currently-active
 	// windows (both useful to tests and experiment rows).
@@ -222,7 +227,7 @@ func Install(cl *core.Cluster, s Schedule) (*Injector, error) {
 	if err := s.Validate(cl); err != nil {
 		return nil, err
 	}
-	in := &Injector{cl: cl, eng: cl.Eng, tr: cl.Tracer(), track: obs.NoTrack}
+	in := &Injector{cl: cl, eng: cl.Eng, tr: cl.Tracer(), track: obs.NoTrack, chk: cl.Checker()}
 	if in.tr.Enabled() && len(s.Faults) > 0 {
 		g := in.tr.Group(cl.ObsPrefix() + "faults")
 		in.track = in.tr.NewTrack(g, "injector")
@@ -261,6 +266,7 @@ func (in *Injector) activate(f Fault, start sim.Time) {
 	in.Injected++
 	in.Active++
 	in.logf("t=%d +%s", int64(in.eng.Now()), f.label())
+	in.chk.Epoch("+" + f.label())
 	end := start + f.Dur
 	// The span is emitted at activation (the window is known up front):
 	// per-lane timestamps then stay monotonic even when windows overlap.
@@ -271,6 +277,7 @@ func (in *Injector) activate(f Fault, start sim.Time) {
 		}
 		in.Active--
 		in.logf("t=%d -%s", int64(in.eng.Now()), f.label())
+		in.chk.Epoch("-" + f.label())
 	})
 }
 

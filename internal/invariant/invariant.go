@@ -1,0 +1,443 @@
+// Package invariant is the opt-in runtime checker for the simulator's
+// conservation laws. The paper states correctness properties the
+// implementation must uphold but the experiment harness never enforces:
+// flow-steered ingress preserves per-flow FIFO order (§3.2.6), DRR gives
+// every runnable actor one visit per round (ALG 2), messages and credits
+// and buffer bytes are conserved across sched→msgring→nicsim→netsim, and
+// Multi-Paxos elects at most one leader per ballot. This package turns
+// each of those into a cheap incremental check.
+//
+// The integration pattern is the same as internal/obs: a *Checker is
+// threaded through the substrate packages, every method is safe on a nil
+// receiver and returns immediately, so a disabled run (the default) pays
+// only a nil comparison at each hook site — no allocation, no branch on
+// shared state, and bit-identical simulation results either way.
+//
+// Besides flagging violations, a Checker accumulates a deterministic
+// fingerprint: a line per fault epoch and a final line, each snapshotting
+// the conservation counters at that instant (extending the byte-
+// deterministic log idea of fault.Injector.Fingerprint to the whole
+// dataplane). Two runs of the same cluster — different worker counts,
+// same seed — must produce identical fingerprints; the golden-replay
+// harness in internal/bench byte-compares them.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Violation is one detected invariant breach at a virtual time.
+type Violation struct {
+	At     sim.Time
+	Rule   string
+	Detail string
+}
+
+// String renders the violation as a stable log line.
+func (v Violation) String() string {
+	return fmt.Sprintf("violation t=%d %s: %s", int64(v.At), v.Rule, v.Detail)
+}
+
+// Checker accumulates conservation counters and violations for one
+// cluster. All methods are nil-safe; a nil *Checker is the disabled
+// state (mirroring obs.Tracer).
+type Checker struct {
+	eng *sim.Engine
+
+	violations []Violation
+	checks     uint64 // individual predicate evaluations
+	epochs     []string
+
+	// Message conservation at the network layer.
+	netInjected  uint64
+	netDelivered uint64
+	netDropped   uint64
+
+	// Traffic-gate conservation (admitted packets must all clear the
+	// pipeline).
+	gateAdmitted  uint64
+	gateDelivered uint64
+
+	// Scheduler work counters.
+	execCompleted uint64
+	drrVisits     uint64
+
+	// Ingress-queue FIFO audit totals (details in the per-queue audits).
+	queuePushes uint64
+	queuePops   uint64
+
+	// Msgring operation count (each op re-validates the credit state).
+	ringOps uint64
+
+	// DMO byte accounting: alloc = free + live, never over limit.
+	dmoAlloc  uint64
+	dmoFree   uint64
+	dmoShadow map[dmoKey]int
+
+	// DRR round-fairness state, per scheduler instance and core.
+	drr map[string]*drrSched
+
+	// Single-leader-per-ballot claims: group → ballot → replica.
+	leaders map[string]map[uint64]int
+}
+
+type dmoKey struct {
+	label string
+	owner uint32
+}
+
+// New creates an enabled checker bound to the cluster's engine. eng may
+// be nil in unit tests; violation timestamps are then zero.
+func New(eng *sim.Engine) *Checker {
+	return &Checker{
+		eng:       eng,
+		dmoShadow: map[dmoKey]int{},
+		drr:       map[string]*drrSched{},
+		leaders:   map[string]map[uint64]int{},
+	}
+}
+
+// Enabled reports whether checking is on (the nil test, like
+// obs.Tracer.Enabled).
+func (c *Checker) Enabled() bool { return c != nil }
+
+func (c *Checker) now() sim.Time {
+	if c.eng == nil {
+		return 0
+	}
+	return c.eng.Now()
+}
+
+func (c *Checker) violate(rule, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		At:     c.now(),
+		Rule:   rule,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Violations returns every breach recorded so far.
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}
+
+// Checks returns how many predicate evaluations ran (a liveness signal:
+// a wired checker on an active cluster must count into the thousands).
+func (c *Checker) Checks() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.checks
+}
+
+// Err folds violations into a single error, nil when clean.
+func (c *Checker) Err() error {
+	if c == nil || len(c.violations) == 0 {
+		return nil
+	}
+	lines := make([]string, len(c.violations))
+	for i, v := range c.violations {
+		lines[i] = v.String()
+	}
+	return fmt.Errorf("invariant: %d violation(s):\n%s", len(c.violations), strings.Join(lines, "\n"))
+}
+
+// --- network conservation ---------------------------------------------
+
+// NetInject records a packet entering the network (past the drop gates).
+func (c *Checker) NetInject() {
+	if c == nil {
+		return
+	}
+	c.netInjected++
+}
+
+// NetDeliver records a packet handed to its destination node and checks
+// that deliveries plus drops never exceed injections (in-flight ≥ 0).
+func (c *Checker) NetDeliver() {
+	if c == nil {
+		return
+	}
+	c.netDelivered++
+	c.checks++
+	if c.netDelivered+c.netDropped > c.netInjected {
+		c.violate("net-conservation",
+			"delivered %d + dropped %d exceeds injected %d",
+			c.netDelivered, c.netDropped, c.netInjected)
+	}
+}
+
+// NetDrop records a packet dropped inside the network (unknown node,
+// partition, injected loss). Drops at the source gates happen before
+// injection and are not counted here.
+func (c *Checker) NetDrop(reason string) {
+	if c == nil {
+		return
+	}
+	_ = reason
+	c.netDropped++
+	c.checks++
+	if c.netDelivered+c.netDropped > c.netInjected {
+		c.violate("net-conservation",
+			"delivered %d + dropped %d exceeds injected %d",
+			c.netDelivered, c.netDropped, c.netInjected)
+	}
+}
+
+// --- traffic-gate conservation ----------------------------------------
+
+// GateAdmit records a packet admitted into the traffic manager.
+func (c *Checker) GateAdmit() {
+	if c == nil {
+		return
+	}
+	c.gateAdmitted++
+}
+
+// GateDeliver records a packet clearing the gate pipeline; it must have
+// been admitted first.
+func (c *Checker) GateDeliver() {
+	if c == nil {
+		return
+	}
+	c.gateDelivered++
+	c.checks++
+	if c.gateDelivered > c.gateAdmitted {
+		c.violate("gate-conservation",
+			"delivered %d exceeds admitted %d", c.gateDelivered, c.gateAdmitted)
+	}
+}
+
+// --- scheduler ---------------------------------------------------------
+
+// Exec records one completed core operation (execution or forward).
+func (c *Checker) Exec() {
+	if c == nil {
+		return
+	}
+	c.execCompleted++
+}
+
+// CoreBusy checks a core's cumulative busy time against wall (virtual)
+// time: a core cannot have been busy longer than the run has lasted.
+func (c *Checker) CoreBusy(label string, coreID int, busy, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.checks++
+	if busy > now {
+		c.violate("core-busy",
+			"%s core %d busy %d ns exceeds wall %d ns", label, coreID, int64(busy), int64(now))
+	}
+}
+
+// --- msgring credit conservation ----------------------------------------
+
+// RingOp validates a ring's pointer/credit state after an operation:
+// head and tail only move forward, the consumer never outruns the
+// producer, the producer's stale credit view never claims more than the
+// ring capacity, and the consumed-since-sync count matches the pointer
+// gap (the lazy-credit bookkeeping of §3.5). Called on every push, pop,
+// and credit sync; wrap is where the arithmetic goes wrong first.
+func (c *Checker) RingOp(label string, head, tail, creditHead, consumed, capacity int) {
+	if c == nil {
+		return
+	}
+	c.ringOps++
+	c.checks++
+	switch {
+	case tail < head:
+		c.violate("ring-credit", "%s: consumer head %d ahead of producer tail %d", label, head, tail)
+	case head < creditHead:
+		c.violate("ring-credit", "%s: credit head %d ahead of consumer head %d", label, creditHead, head)
+	case tail-head > capacity:
+		c.violate("ring-credit", "%s: occupancy %d exceeds capacity %d", label, tail-head, capacity)
+	case tail-creditHead > capacity:
+		c.violate("ring-credit", "%s: producer view %d slots used exceeds capacity %d",
+			label, tail-creditHead, capacity)
+	case consumed != head-creditHead:
+		c.violate("ring-credit", "%s: consumed-since-sync %d != head %d - creditHead %d",
+			label, consumed, head, creditHead)
+	}
+}
+
+// --- DMO byte accounting -------------------------------------------------
+
+// DMOAlloc records an allocation of size bytes for an actor's region and
+// cross-checks the store's used/limit accounting against the checker's
+// shadow count.
+func (c *Checker) DMOAlloc(label string, owner uint32, size, used, limit int) {
+	if c == nil {
+		return
+	}
+	c.dmoAlloc += uint64(size)
+	k := dmoKey{label, owner}
+	c.dmoShadow[k] += size
+	c.checks++
+	if c.dmoShadow[k] != used {
+		c.violate("dmo-bytes", "%s actor %d: region used %d != live bytes %d after alloc %d",
+			label, owner, used, c.dmoShadow[k], size)
+	}
+	if used > limit {
+		c.violate("dmo-bytes", "%s actor %d: region used %d exceeds limit %d",
+			label, owner, used, limit)
+	}
+}
+
+// DMOFree records a free returning size bytes to the region.
+func (c *Checker) DMOFree(label string, owner uint32, size, used int) {
+	if c == nil {
+		return
+	}
+	c.dmoFree += uint64(size)
+	k := dmoKey{label, owner}
+	c.dmoShadow[k] -= size
+	c.checks++
+	if c.dmoShadow[k] < 0 {
+		c.violate("dmo-bytes", "%s actor %d: freed more bytes than allocated (%d short)",
+			label, owner, -c.dmoShadow[k])
+	}
+	if c.dmoShadow[k] != used {
+		c.violate("dmo-bytes", "%s actor %d: region used %d != live bytes %d after free %d",
+			label, owner, used, c.dmoShadow[k], size)
+	}
+}
+
+// DMODestroy records an actor's region teardown releasing bytes live
+// object bytes (DoS-watchdog kill or deregistration).
+func (c *Checker) DMODestroy(label string, owner uint32, bytes int) {
+	if c == nil {
+		return
+	}
+	c.dmoFree += uint64(bytes)
+	k := dmoKey{label, owner}
+	c.checks++
+	if c.dmoShadow[k] != bytes {
+		c.violate("dmo-bytes", "%s actor %d: destroy released %d bytes but %d were live",
+			label, owner, bytes, c.dmoShadow[k])
+	}
+	delete(c.dmoShadow, k)
+}
+
+// --- RKV leadership ------------------------------------------------------
+
+// LeaderClaim records a replica claiming leadership of a group at a
+// ballot. The BallotOffset scheme (replica k elects only with ballots
+// ≡ k mod group size) makes ballots collision-free; two claims on the
+// same (group, ballot) by different replicas mean split brain.
+func (c *Checker) LeaderClaim(group string, ballot uint64, replica int) {
+	if c == nil {
+		return
+	}
+	byBallot := c.leaders[group]
+	if byBallot == nil {
+		byBallot = map[uint64]int{}
+		c.leaders[group] = byBallot
+	}
+	c.checks++
+	if prev, claimed := byBallot[ballot]; claimed && prev != replica {
+		c.violate("single-leader",
+			"%s: replica %d claims ballot %d already held by replica %d",
+			group, replica, ballot, prev)
+		return
+	}
+	byBallot[ballot] = replica
+}
+
+// --- epochs & fingerprint ------------------------------------------------
+
+// countersLine renders the conservation counters compactly; identical
+// runs produce identical lines.
+func (c *Checker) countersLine() string {
+	return fmt.Sprintf(
+		"net=%d/%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d",
+		c.netInjected, c.netDelivered, c.netDropped,
+		c.gateAdmitted, c.gateDelivered,
+		c.execCompleted, c.queuePushes, c.queuePops, c.drrVisits,
+		c.ringOps, c.dmoAlloc, c.dmoFree, c.leaderCount())
+}
+
+func (c *Checker) leaderCount() int {
+	n := 0
+	for _, m := range c.leaders {
+		n += len(m)
+	}
+	return n
+}
+
+// Epoch snapshots the counters under a label — the fault injector calls
+// it at every fault activation and restoration, so the fingerprint
+// carries per-fault-epoch conservation state, not just run totals.
+func (c *Checker) Epoch(label string) {
+	if c == nil {
+		return
+	}
+	c.epochs = append(c.epochs,
+		fmt.Sprintf("epoch t=%d %s %s", int64(c.now()), label, c.countersLine()))
+}
+
+// Finish runs the end-of-run checks and seals the final counter line.
+// Call once after the engine has drained; calling on a still-armed
+// engine only skips the quiescence equalities (cutoff runs legitimately
+// strand in-flight work). Idempotent in effect: repeated calls append
+// repeated final lines, so callers should invoke it once.
+func (c *Checker) Finish() {
+	if c == nil {
+		return
+	}
+	if c.eng != nil && c.eng.Pending() == 0 {
+		c.checks++
+		if inflight := c.netInjected - c.netDelivered - c.netDropped; inflight != 0 {
+			c.violate("net-conservation",
+				"engine drained with %d packets unaccounted (injected %d, delivered %d, dropped %d)",
+				inflight, c.netInjected, c.netDelivered, c.netDropped)
+		}
+		c.checks++
+		if c.gateAdmitted != c.gateDelivered {
+			c.violate("gate-conservation",
+				"engine drained with %d admitted packets stuck in the gate (admitted %d, delivered %d)",
+				c.gateAdmitted-c.gateDelivered, c.gateAdmitted, c.gateDelivered)
+		}
+	}
+	c.epochs = append(c.epochs,
+		fmt.Sprintf("final t=%d %s", int64(c.now()), c.countersLine()))
+}
+
+// Fingerprint returns the deterministic run summary: the epoch lines in
+// event order followed by every violation. Byte-identical across reruns
+// of the same cluster at the same seed, whatever the host parallelism.
+func (c *Checker) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	lines := append([]string(nil), c.epochs...)
+	for _, v := range c.violations {
+		lines = append(lines, v.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Summary is a one-line human-readable digest for CLI output.
+func (c *Checker) Summary() string {
+	if c == nil {
+		return "invariants: disabled"
+	}
+	return fmt.Sprintf("invariants: %d checks, %d violations", c.checks, len(c.violations))
+}
+
+// SortFingerprints canonicalizes a set of per-cluster fingerprints: the
+// replay harness collects them from sweep workers in completion order,
+// which is nondeterministic under parallelism; sorting restores a
+// stable multiset representation for byte comparison.
+func SortFingerprints(fps []string) string {
+	sorted := append([]string(nil), fps...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\n--\n")
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"hash/crc32"
 
+	"repro/internal/invariant"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 )
@@ -73,6 +74,11 @@ type Ring struct {
 	Popped        uint64
 	CreditSyncs   uint64
 	ChecksumDrops uint64
+
+	// chk/chkLabel: the invariant checker re-validates the pointer and
+	// credit relations after every operation (nil = disabled).
+	chk      *invariant.Checker
+	chkLabel string
 }
 
 // NewRing creates a ring with the given power-of-two capacity.
@@ -85,6 +91,21 @@ func NewRing(capacity int) *Ring {
 
 // Cap returns the ring capacity in slots.
 func (r *Ring) Cap() int { return len(r.slots) }
+
+// EnableInvariants attaches the credit-conservation checker under the
+// given label.
+func (r *Ring) EnableInvariants(chk *invariant.Checker, label string) {
+	if chk == nil || r.chk != nil {
+		return
+	}
+	r.chk = chk
+	r.chkLabel = label
+}
+
+// check re-validates the pointer/credit relations; nil-checker safe.
+func (r *Ring) check() {
+	r.chk.RingOp(r.chkLabel, r.head, r.tail, r.creditHead, r.consumed, len(r.slots))
+}
 
 // freeFromProducer is the producer's (possibly stale) view of free slots.
 func (r *Ring) freeFromProducer() int {
@@ -106,6 +127,7 @@ func (r *Ring) push(m Message) (int, error) {
 	r.slots[idx] = m
 	r.tail++
 	r.Pushed++
+	r.check()
 	return idx, nil
 }
 
@@ -137,6 +159,7 @@ func (r *Ring) pop() (Message, bool) {
 	r.head++
 	r.Popped++
 	r.consumed++
+	r.check()
 	return m, true
 }
 
@@ -154,6 +177,7 @@ func (r *Ring) syncCredits() {
 	r.creditHead = r.head
 	r.consumed = 0
 	r.CreditSyncs++
+	r.check()
 }
 
 // Corrupt flips a byte in the queued message at logical offset i from
@@ -207,6 +231,13 @@ func NewChannel(eng *sim.Engine, dma *pcie.Engine, slots, batch int) *Channel {
 		toNIC:     NewRing(slots),
 		BatchSize: batch,
 	}
+}
+
+// EnableInvariants attaches the checker to both rings; label prefixes
+// the per-direction ring labels (typically the node name).
+func (c *Channel) EnableInvariants(chk *invariant.Checker, label string) {
+	c.toHost.EnableInvariants(chk, label+"/toHost")
+	c.toNIC.EnableInvariants(chk, label+"/toNIC")
 }
 
 // ToHost exposes the NIC→host ring for inspection.

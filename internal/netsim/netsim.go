@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -82,6 +83,7 @@ type Network struct {
 
 	tracer  *obs.Tracer
 	groupOf func(node string) obs.GroupID
+	chk     *invariant.Checker
 }
 
 type port struct {
@@ -107,6 +109,16 @@ func New(eng *sim.Engine) *Network {
 
 // Engine returns the underlying simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// EnableInvariants attaches the message-conservation checker: every
+// packet entering the fabric must eventually be delivered or counted
+// into a drop bucket (injected = delivered + dropped + in-flight).
+func (n *Network) EnableInvariants(chk *invariant.Checker) {
+	if chk == nil || n.chk != nil {
+		return
+	}
+	n.chk = chk
+}
 
 // Attach connects a node with the given link speed and registers its
 // receive handler. Attaching a duplicate name panics: it is a topology
@@ -244,22 +256,31 @@ func (n *Network) Send(pkt *Packet) {
 	src, ok := n.nodes[pkt.Src]
 	if !ok {
 		n.Drops++
+		n.chk.NetInject()
+		n.chk.NetDrop("unknown-src")
 		return
 	}
 	dst, ok := n.nodes[pkt.Dst]
 	if !ok {
 		n.Drops++
+		n.chk.NetInject()
+		n.chk.NetDrop("unknown-dst")
 		return
 	}
 	if len(n.blocked) > 0 && n.blocked[[2]string{pkt.Src, pkt.Dst}] {
 		n.PartitionDrops++
+		n.chk.NetInject()
+		n.chk.NetDrop("partition")
 		return
 	}
 	if loss := n.effectiveLoss(pkt.Src, pkt.Dst); loss > 0 && n.eng.Rand().Float64() < loss {
 		n.Lost++
+		n.chk.NetInject()
+		n.chk.NetDrop("loss")
 		return
 	}
 	pkt.SentAt = n.eng.Now()
+	n.chk.NetInject()
 	wire := spec.SerializationDelay(src.up.gbps, pkt.Size)
 	src.up.station.Submit(&sim.Job{
 		Service: wire,
@@ -277,6 +298,7 @@ func (n *Network) Send(pkt *Packet) {
 							obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 						n.eng.After(dst.down.propagation, func() {
 							n.Delivered++
+							n.chk.NetDeliver()
 							if dst.handler != nil {
 								dst.handler.Deliver(pkt)
 							}

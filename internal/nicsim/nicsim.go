@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -27,6 +28,7 @@ type TrafficGate struct {
 
 	tracer *obs.Tracer
 	track  obs.TrackID
+	chk    *invariant.Checker
 }
 
 // NewTrafficGate builds a gate for the model's PPSCap.
@@ -49,18 +51,31 @@ func (g *TrafficGate) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
 	g.track = tr.NewTrack(group, "traffic mgr")
 }
 
+// EnableInvariants attaches the admission-conservation checker: every
+// admitted packet must clear the pipeline (the gate delays, it never
+// drops).
+func (g *TrafficGate) EnableInvariants(chk *invariant.Checker) {
+	if chk == nil || g.chk != nil {
+		return
+	}
+	g.chk = chk
+}
+
 // Admit passes a packet through the gate; deliver runs when the packet
 // clears the pipeline stage. flow and bytes annotate the trace span (a
 // transparent gate emits no span — there is no occupancy to show).
 func (g *TrafficGate) Admit(flow uint64, bytes int, deliver func()) {
 	g.Admitted++
+	g.chk.GateAdmit()
 	if g.station == nil {
+		g.chk.GateDeliver()
 		deliver()
 		return
 	}
 	g.station.Submit(&sim.Job{Service: g.perPkt, Done: func(enq, started, fin sim.Time) {
 		g.tracer.Span(g.track, "admit", started, fin,
 			obs.Args{Req: flow, HasReq: flow != 0, Bytes: bytes, Wait: started - enq})
+		g.chk.GateDeliver()
 		deliver()
 	}})
 }

@@ -199,6 +199,7 @@ func (c *core) execFCFS(a *actor.Actor, m actor.Msg, tax sim.Time) {
 	c.occupy(service, func() {
 		c.Executed++
 		s.Completed++
+		s.chk.Exec()
 		sojourn := s.eng.Now() - m.ArrivedAt
 		a.Observe(sojourn, service, m.WireSize)
 		s.observeFCFS(m)
@@ -258,6 +259,7 @@ func (c *core) stepDRR() {
 		c.drrPos %= len(s.drrRunnable)
 		a := s.drrRunnable[c.drrPos]
 		c.drrPos++
+		s.chk.DRRVisit(s.chkLabel, c.id, uint32(a.ID))
 		if a.Mailbox.Len() == 0 {
 			a.Deficit = 0 // ALG 2 lines 15–17
 			continue
@@ -288,6 +290,7 @@ func (c *core) stepDRR() {
 			a.Release()
 			c.Executed++
 			s.Completed++
+			s.chk.Exec()
 			sojourn := s.eng.Now() - m.ArrivedAt
 			a.Observe(sojourn, service, m.WireSize)
 			if s.hooks.OnExec != nil {

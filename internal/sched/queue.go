@@ -1,6 +1,9 @@
 package sched
 
-import "repro/internal/actor"
+import (
+	"repro/internal/actor"
+	"repro/internal/invariant"
+)
 
 // inQueue abstracts the ingress path feeding FCFS cores. On-path NICs
 // have a hardware traffic manager providing a shared queue with
@@ -12,44 +15,106 @@ type inQueue interface {
 	// pop fetches the next message for the given core.
 	pop(coreID int) (actor.Msg, bool)
 	len() int
+	// setAudit attaches the per-flow FIFO audit (nil = disabled).
+	setAudit(a *invariant.QueueAudit)
 }
+
+// msgFIFO is a head-indexed message queue. Popping advances head instead
+// of reslicing (q = q[1:] would pin the consumed prefix of the backing
+// array — and every Msg.Data payload in it — for the queue's lifetime);
+// consumed slots are zeroed so payloads release immediately, and the
+// live region is copied down once the dead prefix dominates, so a
+// steady-state queue reuses one backing array with no per-op allocation.
+type msgFIFO struct {
+	buf  []actor.Msg
+	head int
+}
+
+// compactAt is the dead-prefix watermark: copy-down only past it, so
+// short bursts never pay the copy.
+const compactAt = 32
+
+func (f *msgFIFO) push(m actor.Msg) { f.buf = append(f.buf, m) }
+
+func (f *msgFIFO) pop() (actor.Msg, bool) {
+	if f.head == len(f.buf) {
+		return actor.Msg{}, false
+	}
+	m := f.buf[f.head]
+	f.buf[f.head] = actor.Msg{}
+	f.head++
+	f.maybeCompact()
+	return m, true
+}
+
+func (f *msgFIFO) maybeCompact() {
+	if f.head == len(f.buf) {
+		// Empty: rewind in place, keeping the array for reuse.
+		f.buf = f.buf[:0]
+		f.head = 0
+		return
+	}
+	if f.head > compactAt && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = actor.Msg{}
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+}
+
+func (f *msgFIFO) len() int { return len(f.buf) - f.head }
 
 // sharedQueue is the hardware traffic manager model: one FIFO, any core.
 type sharedQueue struct {
-	q []actor.Msg
+	q     msgFIFO
+	audit *invariant.QueueAudit
 }
 
 func newSharedQueue() *sharedQueue { return &sharedQueue{} }
 
-func (s *sharedQueue) push(m actor.Msg) { s.q = append(s.q, m) }
-
-func (s *sharedQueue) pop(int) (actor.Msg, bool) {
-	if len(s.q) == 0 {
-		return actor.Msg{}, false
-	}
-	m := s.q[0]
-	s.q = s.q[1:]
-	return m, true
+func (s *sharedQueue) push(m actor.Msg) {
+	m.AuditSeq = s.audit.Push(m.FlowID)
+	s.q.push(m)
 }
 
-func (s *sharedQueue) len() int { return len(s.q) }
+func (s *sharedQueue) pop(int) (actor.Msg, bool) {
+	m, ok := s.q.pop()
+	if ok {
+		s.audit.Pop(m.FlowID, m.AuditSeq)
+	}
+	return m, ok
+}
+
+func (s *sharedQueue) len() int { return s.q.len() }
+
+func (s *sharedQueue) setAudit(a *invariant.QueueAudit) { s.audit = a }
 
 // shuffleQueue is the software alternative: a single-producer,
 // multi-consumer shuffle layer steering flows to per-core queues, with
 // work stealing to repair the load imbalance flow steering causes.
 type shuffleQueue struct {
-	perCore [][]actor.Msg
+	perCore []msgFIFO
+	audit   *invariant.QueueAudit
 	// Steals counts stolen messages, exposing the imbalance repair rate.
 	Steals uint64
 }
 
 func newShuffleQueue(cores int) *shuffleQueue {
-	return &shuffleQueue{perCore: make([][]actor.Msg, cores)}
+	if cores < 1 {
+		// A degenerate group (dispatcher-less config asking for zero
+		// steered queues) still needs one bucket, or push's FlowID
+		// modulus divides by zero.
+		cores = 1
+	}
+	return &shuffleQueue{perCore: make([]msgFIFO, cores)}
 }
 
 func (s *shuffleQueue) push(m actor.Msg) {
+	m.AuditSeq = s.audit.Push(m.FlowID)
 	i := int(m.FlowID % uint64(len(s.perCore)))
-	s.perCore[i] = append(s.perCore[i], m)
+	s.perCore[i].push(m)
 }
 
 func (s *shuffleQueue) pop(coreID int) (actor.Msg, bool) {
@@ -57,35 +122,40 @@ func (s *shuffleQueue) pop(coreID int) (actor.Msg, bool) {
 	if coreID >= n {
 		coreID = coreID % n
 	}
-	if q := s.perCore[coreID]; len(q) > 0 {
-		m := q[0]
-		s.perCore[coreID] = q[1:]
+	if m, ok := s.perCore[coreID].pop(); ok {
+		s.audit.Pop(m.FlowID, m.AuditSeq)
 		return m, true
 	}
-	// Steal from the longest victim queue.
+	// Steal from the longest victim queue. Take the victim's *oldest*
+	// message: all of a flow's messages sit in one steered queue in
+	// arrival order, so stealing the head preserves per-flow FIFO, while
+	// a classic tail steal would run a flow's newest request ahead of
+	// its queued predecessors (§3.2.6 steers flows precisely to keep
+	// them ordered).
 	victim, best := -1, 0
-	for i, q := range s.perCore {
-		if i != coreID && len(q) > best {
-			victim, best = i, len(q)
+	for i := range s.perCore {
+		if i != coreID && s.perCore[i].len() > best {
+			victim, best = i, s.perCore[i].len()
 		}
 	}
 	if victim == -1 {
 		return actor.Msg{}, false
 	}
-	q := s.perCore[victim]
-	m := q[len(q)-1] // steal from the tail, as work stealers do
-	s.perCore[victim] = q[:len(q)-1]
+	m, _ := s.perCore[victim].pop()
 	s.Steals++
+	s.audit.Pop(m.FlowID, m.AuditSeq)
 	return m, true
 }
 
 func (s *shuffleQueue) len() int {
 	n := 0
-	for _, q := range s.perCore {
-		n += len(q)
+	for i := range s.perCore {
+		n += s.perCore[i].len()
 	}
 	return n
 }
+
+func (s *shuffleQueue) setAudit(a *invariant.QueueAudit) { s.audit = a }
 
 // iokQueue is the second §3.2.6 alternative for NICs without a hardware
 // traffic manager: a Shenango-IOKernel-style design where one dedicated
@@ -94,57 +164,83 @@ func (s *shuffleQueue) len() int {
 // workers read only their own queue (no stealing — the dispatcher is
 // responsible for balance).
 type iokQueue struct {
-	central []actor.Msg
-	perCore [][]actor.Msg
+	central msgFIFO
+	perCore []msgFIFO
+	audit   *invariant.QueueAudit
+	// flows pins a flow with queued messages to its worker: routing by
+	// queue depth alone would scatter one flow across workers draining
+	// at different rates, reordering it. A flow re-routes (rebalances)
+	// only once its queued messages have drained.
+	flows map[uint64]*iokFlow
 	// Dispatched counts messages routed by the dispatcher core.
 	Dispatched uint64
-	// rr is the dispatcher's round-robin cursor.
-	rr int
+}
+
+type iokFlow struct {
+	worker  int
+	pending int
 }
 
 func newIOKQueue(workers int) *iokQueue {
-	return &iokQueue{perCore: make([][]actor.Msg, workers)}
+	return &iokQueue{perCore: make([]msgFIFO, workers), flows: map[uint64]*iokFlow{}}
 }
 
-func (q *iokQueue) push(m actor.Msg) { q.central = append(q.central, m) }
+func (q *iokQueue) push(m actor.Msg) {
+	m.AuditSeq = q.audit.Push(m.FlowID)
+	q.central.push(m)
+}
 
 // pop serves a worker core from its own queue only.
 func (q *iokQueue) pop(coreID int) (actor.Msg, bool) {
 	if coreID >= len(q.perCore) {
 		return actor.Msg{}, false // the dispatcher core never executes
 	}
-	if buf := q.perCore[coreID]; len(buf) > 0 {
-		m := buf[0]
-		q.perCore[coreID] = buf[1:]
-		return m, true
+	m, ok := q.perCore[coreID].pop()
+	if !ok {
+		return actor.Msg{}, false
 	}
-	return actor.Msg{}, false
-}
-
-// dispatchOne moves one message from the central buffer to the least
-// loaded worker queue (round-robin with shortest-queue preference).
-func (q *iokQueue) dispatchOne() (int, bool) {
-	if len(q.central) == 0 {
-		return 0, false
-	}
-	m := q.central[0]
-	q.central = q.central[1:]
-	best := q.rr % len(q.perCore)
-	for i := range q.perCore {
-		if len(q.perCore[i]) < len(q.perCore[best]) {
-			best = i
+	if fl := q.flows[m.FlowID]; fl != nil {
+		fl.pending--
+		if fl.pending == 0 {
+			delete(q.flows, m.FlowID)
 		}
 	}
-	q.rr++
-	q.perCore[best] = append(q.perCore[best], m)
+	q.audit.Pop(m.FlowID, m.AuditSeq)
+	return m, true
+}
+
+// dispatchOne moves one message from the central buffer to a worker
+// queue: the flow's pinned worker while it has messages queued, else
+// the least-loaded worker (lowest index on ties, keeping routing
+// deterministic).
+func (q *iokQueue) dispatchOne() (int, bool) {
+	m, ok := q.central.pop()
+	if !ok {
+		return 0, false
+	}
+	fl := q.flows[m.FlowID]
+	if fl == nil {
+		best := 0
+		for i := 1; i < len(q.perCore); i++ {
+			if q.perCore[i].len() < q.perCore[best].len() {
+				best = i
+			}
+		}
+		fl = &iokFlow{worker: best}
+		q.flows[m.FlowID] = fl
+	}
+	fl.pending++
+	q.perCore[fl.worker].push(m)
 	q.Dispatched++
-	return best, true
+	return fl.worker, true
 }
 
 func (q *iokQueue) len() int {
-	n := len(q.central)
-	for _, buf := range q.perCore {
-		n += len(buf)
+	n := q.central.len()
+	for i := range q.perCore {
+		n += q.perCore[i].len()
 	}
 	return n
 }
+
+func (q *iokQueue) setAudit(a *invariant.QueueAudit) { q.audit = a }

@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"repro/internal/actor"
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -184,6 +185,11 @@ type Scheduler struct {
 	// operations; its Tail()/Mean() drive downgrade and migration.
 	fcfsStats stats.EWMA
 
+	// chk/chkLabel carry the invariant checker (nil when disabled) and
+	// this scheduler's label in its reports (the node name).
+	chk      *invariant.Checker
+	chkLabel string
+
 	// Counters for experiments.
 	Completed         uint64
 	Forwarded         uint64
@@ -239,6 +245,24 @@ func New(eng *sim.Engine, cfg Config, hooks Hooks) *Scheduler {
 	return s
 }
 
+// EnableInvariants attaches the runtime checker: the ingress queue gets
+// a per-flow FIFO audit, DRR runnable-queue membership and cursor
+// visits are tracked for round fairness, and each monitor tick
+// validates core busy-time against wall time. Call before the first
+// message arrives (a mid-run attach would see pops of unaudited
+// pushes); label names this scheduler in reports, typically the node.
+func (s *Scheduler) EnableInvariants(chk *invariant.Checker, label string) {
+	if chk == nil || s.chk != nil {
+		return
+	}
+	s.chk = chk
+	s.chkLabel = label
+	s.queue.setAudit(chk.NewQueueAudit(label + "/ingress"))
+	for _, a := range s.drrRunnable {
+		chk.DRRAdd(label, uint32(a.ID))
+	}
+}
+
 // maybeMonitor runs the management core's periodic duties — sample
 // per-core utilization over the last window, balance cores between the
 // FCFS and DRR groups, evaluate the migration conditions — at most once
@@ -254,6 +278,7 @@ func (s *Scheduler) maybeMonitor() {
 	s.lastMonitor = now
 	for _, c := range s.cores {
 		c.settle()
+		s.chk.CoreBusy(s.chkLabel, c.id, c.busyAccum, now)
 		c.winU = float64(c.busyAccum-c.winPrev) / float64(window)
 		if c.winU > 1 {
 			c.winU = 1
@@ -315,6 +340,7 @@ func (s *Scheduler) AddActor(a *actor.Actor) {
 		a.InDRR = true
 		a.Deficit = 0
 		s.drrRunnable = append(s.drrRunnable, a)
+		s.chk.DRRAdd(s.chkLabel, uint32(a.ID))
 		s.ensureDRRCore()
 	}
 }
@@ -486,6 +512,7 @@ func (s *Scheduler) downgrade() {
 	victim.InDRR = true
 	victim.Deficit = 0
 	s.drrRunnable = append(s.drrRunnable, victim)
+	s.chk.DRRAdd(s.chkLabel, uint32(victim.ID))
 	s.Downgrades++
 	if s.hooks.OnModeSwitch != nil {
 		s.hooks.OnModeSwitch(victim, DRR)
@@ -550,6 +577,18 @@ func (s *Scheduler) drrDequeue(a *actor.Actor) {
 	for i, x := range s.drrRunnable {
 		if x == a {
 			s.drrRunnable = append(s.drrRunnable[:i], s.drrRunnable[i+1:]...)
+			// Removing below a core's cursor shifts every later actor
+			// down one slot; a cursor left as-is would silently skip the
+			// actor that moved into the vacated position, costing it a
+			// whole DRR round (and its quantum). Pull the cursors back in
+			// step so each runnable actor keeps exactly one visit per
+			// round.
+			for _, c := range s.cores {
+				if c.drrPos > i {
+					c.drrPos--
+				}
+			}
+			s.chk.DRRRemove(s.chkLabel, uint32(a.ID))
 			return
 		}
 	}

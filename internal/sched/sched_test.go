@@ -310,10 +310,11 @@ func TestShuffleQueueSteeringAndStealing(t *testing.T) {
 	if !ok || m.Kind != 0 {
 		t.Fatalf("own-queue pop = %v %v", m.Kind, ok)
 	}
-	// Core 3 steals from the tail.
+	// Core 3 steals from the victim's head so the flow stays FIFO: the
+	// oldest queued message moves, never a younger one ahead of it.
 	m, ok = q.pop(3)
-	if !ok || m.Kind != 7 {
-		t.Fatalf("steal = %v %v, want kind 7", m.Kind, ok)
+	if !ok || m.Kind != 1 {
+		t.Fatalf("steal = %v %v, want kind 1 (victim's head)", m.Kind, ok)
 	}
 	if q.Steals != 1 {
 		t.Fatalf("Steals = %d", q.Steals)
@@ -403,8 +404,32 @@ func TestIOKernelBalancesWorkers(t *testing.T) {
 	cfg.IOKernel = true
 	h := newHarness(t, cfg)
 	h.addActor(1, 5*sim.Microsecond)
-	// One flow only: a shuffle layer without stealing would pile it on
-	// one worker; the dispatcher spreads by queue depth.
+	// Several flows: the dispatcher spreads them across workers by queue
+	// depth. (A single flow would — correctly — stay pinned to one worker
+	// while it has messages pending, to preserve per-flow FIFO.)
+	for i := 0; i < 30; i++ {
+		h.s.Arrive(actor.Msg{Dst: 1, FlowID: uint64(7 + i%3)})
+	}
+	h.eng.Run()
+	busyWorkers := 0
+	for _, c := range h.s.cores {
+		if c.mode == FCFS && c.Executed > 0 {
+			busyWorkers++
+		}
+	}
+	if busyWorkers < 2 {
+		t.Fatalf("dispatcher used %d workers for three flows, want spread", busyWorkers)
+	}
+}
+
+func TestIOKernelPinsFlowWhilePending(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.IOKernel = true
+	h := newHarness(t, cfg)
+	h.addActor(1, 5*sim.Microsecond)
+	// One flow only: while it has messages pending at a worker, every
+	// subsequent dispatch must follow to the same worker — spreading a
+	// single flow across workers would reorder it.
 	for i := 0; i < 30; i++ {
 		h.s.Arrive(actor.Msg{Dst: 1, FlowID: 7})
 	}
@@ -415,8 +440,8 @@ func TestIOKernelBalancesWorkers(t *testing.T) {
 			busyWorkers++
 		}
 	}
-	if busyWorkers < 2 {
-		t.Fatalf("dispatcher used %d workers for a single flow, want spread", busyWorkers)
+	if busyWorkers != 1 {
+		t.Fatalf("single flow ran on %d workers, want 1 (flow affinity)", busyWorkers)
 	}
 }
 

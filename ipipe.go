@@ -38,6 +38,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -85,6 +86,10 @@ type (
 	// Collector snapshots cluster metrics on a virtual-time interval;
 	// export with WriteNDJSON.
 	Collector = obs.Collector
+	// InvariantChecker audits runtime invariants (message conservation,
+	// per-flow FIFO, DRR fairness, ring credits, byte accounting) as the
+	// simulation runs; a nil checker is the zero-cost disabled state.
+	InvariantChecker = invariant.Checker
 )
 
 // Virtual-time units.
@@ -123,6 +128,18 @@ func NewMetricsCollector(c *Cluster, interval Duration) *Collector {
 		interval = obs.DefaultMetricsInterval
 	}
 	return obs.NewCollector(c.Eng, interval)
+}
+
+// NewInvariantChecker attaches a runtime invariant checker to the
+// cluster and returns it. Call before deploying applications and
+// running the engine (the FIFO and byte-accounting audits must observe
+// every push/alloc from the start); after Eng.Run, call Finish to
+// evaluate the end-of-run conservation equalities, then inspect Err,
+// Violations, or Summary.
+func NewInvariantChecker(c *Cluster) *InvariantChecker {
+	chk := invariant.New(c.Eng)
+	c.EnableInvariants(chk)
+	return chk
 }
 
 // The four characterized SmartNIC models (Table 1).
