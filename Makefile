@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,16 @@ vet:
 
 # race: the concurrency gate for the engine hot path, the parallel
 # sweep runner (includes the serial-vs-parallel parity test), the
-# fault-injection / recovery suites, and the scale-out router/batching
-# code exercised from parallel sweeps.
+# fault-injection / recovery suites, the scale-out router/batching
+# code exercised from parallel sweeps, and the PDES partition sync
+# path (sim.Group windows, netsim cross-partition handoff, the mesh
+# scale topology).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
 		./internal/shard/... ./internal/workload/... ./internal/msgring/... \
-		./internal/stats/... ./internal/invariant/... ./internal/sched/...
+		./internal/stats/... ./internal/invariant/... ./internal/sched/... \
+		./internal/netsim/... ./internal/mesh/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -58,9 +61,27 @@ invariant-smoke:
 		faults-availability fig17 ablate-queue scale-shards
 	@echo "invariant-smoke: ok"
 
+# pdes-smoke: golden-replay a registry subset along the PDES axis — the
+# partitioned scale sweep plus classic controls, at 2 and 4 partitions,
+# serial window merge vs parallel window execution; the per-partition
+# invariant fingerprints must match byte-for-byte.
+pdes-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 2 -parallel 2 \
+		scale-nodes fig17 scale-shards
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 4 -parallel 4 \
+		scale-nodes fig17
+	@echo "pdes-smoke: ok"
+
+# pdes-bench: regenerate the wall-clock speedup matrix artifact
+# (fingerprint-certified; speedup > 1 needs as many cores as workers).
+pdes-bench:
+	$(GO) run ./cmd/ipipe-bench -pdes-bench BENCH_pdes.json \
+		-pdes-nodes 64,128,256 -pdes-workers 2,4,8
+	@echo "pdes-bench: wrote BENCH_pdes.json"
+
 # check: the CI step — static analysis, the race suite, and the
 # observability and invariant smoke tests.
-check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke
+check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -16,15 +16,26 @@
 // with the runtime invariant checker attached to every cluster; the
 // invariant fingerprints must match byte-for-byte and no invariant may
 // be violated. Exits nonzero otherwise.
+//
+// -pdes N shards partition-aware experiments (the scale-nodes family)
+// across N engine partitions, executed by -parallel window workers.
+// Combined with -check, the replay runs along the PDES axis instead:
+// serial window merge vs parallel window execution, fingerprints
+// byte-compared. -pdes-bench FILE writes the wall-clock speedup matrix
+// (per size × worker count, with fingerprint certification and the
+// machine's core count) as a JSON artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -46,7 +57,38 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file` (forces -parallel 1)")
 	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
 	check := flag.Bool("check", false, "golden replay: run with invariant checking at two seeds × serial/parallel and compare fingerprints")
+	pdes := flag.Int("pdes", 0, "engine partition count for partition-aware experiments (0 = their defaults); with -check, replays along the PDES axis")
+	pdesBench := flag.String("pdes-bench", "", "write the PDES speedup matrix (JSON) to `file` and exit ('-' for stdout)")
+	pdesNodes := flag.String("pdes-nodes", "", "comma-separated mesh sizes for -pdes-bench (default: the scale-nodes sweep sizes)")
+	pdesWorkers := flag.String("pdes-workers", "2,4,8", "comma-separated window worker counts for -pdes-bench")
 	flag.Parse()
+
+	if *pdesBench != "" {
+		opts := bench.Options{Quick: *quick, Seed: *seed, PDESParts: *pdes}
+		sizes, err := intList(*pdesNodes)
+		if err != nil {
+			fatal(fmt.Errorf("-pdes-nodes: %w", err))
+		}
+		workers, err := intList(*pdesWorkers)
+		if err != nil {
+			fatal(fmt.Errorf("-pdes-workers: %w", err))
+		}
+		rep := bench.PDESBench(opts, sizes, workers)
+		err = writeTo(*pdesBench, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range rep.Entries {
+			if !e.FingerprintOK {
+				fatal(fmt.Errorf("pdes-bench: nodes=%d workers=%d diverged from the serial merge", e.Nodes, e.Workers))
+			}
+		}
+		return
+	}
 
 	ids := flag.Args()
 	if *list || len(ids) == 0 {
@@ -64,7 +106,14 @@ func main() {
 		if *traceFile != "" || *metricsFile != "" {
 			fatal(fmt.Errorf("-check cannot be combined with -trace/-metrics (both claim the cluster observer hook)"))
 		}
-		rep, err := bench.GoldenReplay(ids, bench.Options{Quick: *quick, Seed: *seed}, *parallel)
+		opts := bench.Options{Quick: *quick, Seed: *seed, PDESParts: *pdes}
+		var rep *bench.ReplayReport
+		var err error
+		if *pdes > 0 {
+			rep, err = bench.GoldenReplayPDES(ids, opts, *parallel)
+		} else {
+			rep, err = bench.GoldenReplay(ids, opts, *parallel)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +168,8 @@ func main() {
 		defer core.SetDefaultObserver(nil)
 	}
 
-	opts := bench.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	opts := bench.Options{Quick: *quick, Seed: *seed, Parallel: *parallel,
+		PDESParts: *pdes, PDESWorkers: *parallel}
 	for _, id := range ids {
 		r, err := bench.Run(id, opts)
 		if err != nil {
@@ -178,6 +228,25 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ipipe-bench:", err)
 	os.Exit(1)
+}
+
+// intList parses a comma-separated list of positive ints ("" = nil).
+func intList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // writeTo writes an exporter's output to a file ("-" for stdout).

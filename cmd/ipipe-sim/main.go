@@ -9,6 +9,13 @@
 //	ipipe-sim -app dt -nic none -size 1024
 //	ipipe-sim -app rta -nic stingray -rate 500000
 //	ipipe-sim -app echo -nic cn2360
+//	ipipe-sim -app mesh -nodes 256 -partitions 8 -pdes 4
+//
+// The mesh app is the scale-out topology for the parallel (PDES)
+// engine: -nodes echo-RPC servers sharded across -partitions engine
+// partitions, windows executed by -pdes worker goroutines. Results are
+// deterministic for a fixed seed regardless of -pdes; tracing and
+// metrics are unavailable on partitioned runs.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	ipipe "repro"
 	"repro/internal/baseline"
+	"repro/internal/mesh"
 	"repro/internal/spec"
 	"repro/internal/workload"
 )
@@ -42,7 +50,7 @@ func nicByFlag(name string) (*ipipe.NICModel, bool) {
 }
 
 func main() {
-	app := flag.String("app", "rkv", "application: rkv | dt | rta | nf | echo")
+	app := flag.String("app", "rkv", "application: rkv | dt | rta | nf | echo | mesh")
 	nicName := flag.String("nic", "cn2350", "SmartNIC: cn2350 | cn2360 | bluefield | stingray | none (DPDK baseline)")
 	dur := flag.Duration("duration", 50*time.Millisecond, "virtual run duration")
 	depth := flag.Int("depth", 16, "closed-loop outstanding requests (0 = use -rate)")
@@ -57,7 +65,32 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file`")
 	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
 	check := flag.Bool("check", false, "audit runtime invariants during the run; exit 1 on any violation")
+	meshNodes := flag.Int("nodes", 64, "server node count (mesh only)")
+	partitions := flag.Int("partitions", 0, "engine partition count, 0 = min(8, nodes) (mesh only)")
+	pdesWorkers := flag.Int("pdes", 1, "goroutines executing partition windows (mesh only; results identical at any count)")
 	flag.Parse()
+
+	if *app == "mesh" {
+		if *traceFile != "" || *metricsFile != "" {
+			fmt.Fprintln(os.Stderr, "ipipe-sim: -trace/-metrics are not available on partitioned (mesh) runs")
+			os.Exit(1)
+		}
+		runMesh(mesh.Config{
+			Nodes:      *meshNodes,
+			Partitions: *partitions,
+			Workers:    *pdesWorkers,
+			Seed:       *seed,
+			Depth:      *depth,
+			ReqSize:    *size,
+			Window:     ipipe.Duration(dur.Nanoseconds()),
+			Check:      *check,
+		})
+		return
+	}
+	if *partitions > 1 {
+		fmt.Fprintf(os.Stderr, "ipipe-sim: -partitions applies only to -app mesh (app %q runs on one engine)\n", *app)
+		os.Exit(1)
+	}
 
 	nic, ok := nicByFlag(*nicName)
 	if !ok {
@@ -296,6 +329,24 @@ func main() {
 		fmt.Println(line)
 	}
 	_ = spec.WireOverheadBytes
+}
+
+// runMesh drives the PDES scale-out topology and reports.
+func runMesh(cfg mesh.Config) {
+	s := mesh.Run(cfg)
+	fmt.Printf("app=mesh nodes=%d partitions=%d workers=%d window=%v\n",
+		s.Nodes, s.Partitions, cfg.Workers, cfg.Window)
+	fmt.Printf("throughput: %.1f kops/s (%d of %d answered)\n", s.TputKops, s.Ops, s.Sent)
+	fmt.Printf("latency: p50=%.2fus p99=%.2fus\n", s.P50us, s.P99us)
+	fmt.Printf("engine: %d events, %d cross-partition handoffs, %d sync windows, wall %v\n",
+		s.Events, s.Crossed, s.Rounds, s.Wall)
+	if cfg.Check {
+		if s.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: %d partition ledgers reported violations\n", s.Violations)
+			os.Exit(1)
+		}
+		fmt.Printf("invariants: %d partition ledgers clean\n", s.Partitions)
+	}
 }
 
 func linkOf(nic *ipipe.NICModel) float64 {

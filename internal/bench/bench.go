@@ -29,6 +29,15 @@ type Options struct {
 	// across goroutines (each point runs its own seeded sim.Engine).
 	// 0 or 1 runs points serially; results are identical either way.
 	Parallel int
+	// PDESParts shards each partition-aware experiment's simulations
+	// across this many engine partitions (conservative PDES). 0 keeps
+	// every experiment's default; classic experiments, whose topologies
+	// are not partitioned, ignore it.
+	PDESParts int
+	// PDESWorkers bounds the goroutines executing one partitioned
+	// simulation's windows. 0 or 1 is the serial merge; results are
+	// byte-identical at any worker count (enforced by GoldenReplayPDES).
+	PDESWorkers int
 }
 
 func (o Options) seed() uint64 {
@@ -197,6 +206,8 @@ type jsonRecord struct {
 	Seed         uint64     `json:"seed"`
 	Quick        bool       `json:"quick"`
 	Parallel     int        `json:"parallel"`
+	PDESParts    int        `json:"pdes_parts,omitempty"`
+	PDESWorkers  int        `json:"pdes_workers,omitempty"`
 }
 
 // FprintJSON renders the result as a single NDJSON record. opts should
@@ -204,16 +215,18 @@ type jsonRecord struct {
 // recorded trajectory is self-describing.
 func (r *Result) FprintJSON(w io.Writer, opts Options) error {
 	rec := jsonRecord{
-		ID:     r.ID,
-		Title:  r.Title,
-		Header: r.Header,
-		Rows:   r.Rows,
-		Notes:  r.Notes,
-		WallMS: float64(r.Wall.Microseconds()) / 1e3,
-		Events: r.Events,
-		Seed:   opts.seed(),
-		Quick:  opts.Quick,
-		Parallel: opts.workers(),
+		ID:          r.ID,
+		Title:       r.Title,
+		Header:      r.Header,
+		Rows:        r.Rows,
+		Notes:       r.Notes,
+		WallMS:      float64(r.Wall.Microseconds()) / 1e3,
+		Events:      r.Events,
+		Seed:        opts.seed(),
+		Quick:       opts.Quick,
+		Parallel:    opts.workers(),
+		PDESParts:   opts.PDESParts,
+		PDESWorkers: opts.PDESWorkers,
 	}
 	if s := r.Wall.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(r.Events) / s

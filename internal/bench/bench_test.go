@@ -38,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "table2", "table3", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "floem", "nf", "scale-shards", "scale-batch",
+		"scale-nodes",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

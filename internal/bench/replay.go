@@ -63,10 +63,13 @@ func checkedRun(id, tag string, opts Options) (fingerprint string, violations []
 	var mu sync.Mutex
 	var chks []*invariant.Checker
 	core.SetDefaultObserver(func(c *core.Cluster) {
-		chk := invariant.New(c.Eng)
-		c.EnableInvariants(chk)
+		// One checker per engine partition: a partitioned cluster's
+		// conservation ledgers live at partition granularity (handoff
+		// counters reconcile the cross-partition packets); a classic
+		// cluster gets the usual single checker.
+		cchks := c.AttachCheckers()
 		mu.Lock()
-		chks = append(chks, chk)
+		chks = append(chks, cchks...)
 		mu.Unlock()
 	})
 	_, err = Run(id, opts)
@@ -123,6 +126,53 @@ func GoldenReplay(ids []string, opts Options, workers int) (*ReplayReport, error
 			if sfp != pfp {
 				rep.Mismatches = append(rep.Mismatches,
 					fmt.Sprintf("%s seed=%d: serial and parallel invariant fingerprints differ", id, seed))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// GoldenReplayPDES is GoldenReplay along the PDES axis: each experiment
+// runs at two seeds with the serial window merge (PDESWorkers=1) and
+// again with `workers` goroutines executing partition windows, sweep
+// parallelism pinned to 1 on both sides so the only variable is the
+// parallel engine. The per-partition invariant fingerprints must match
+// byte for byte — the determinism contract of sim.Group. Classic
+// (unpartitioned) experiments run identically on both sides and act as
+// a no-regression control. Like GoldenReplay, this installs the
+// process-wide cluster observer hook, so it must not run concurrently
+// with other harness users.
+func GoldenReplayPDES(ids []string, opts Options, workers int) (*ReplayReport, error) {
+	if workers < 2 {
+		workers = 2
+	}
+	rep := &ReplayReport{}
+	for _, id := range ids {
+		rep.Experiments++
+		for _, seed := range []uint64{opts.seed(), opts.seed() + 1} {
+			runOpts := opts
+			runOpts.Seed = seed
+			runOpts.Parallel = 1
+
+			runOpts.PDESWorkers = 1
+			sfp, sviol, scl, sch, err := checkedRun(id, fmt.Sprintf("seed=%d pdes-serial", seed), runOpts)
+			if err != nil {
+				return nil, err
+			}
+			runOpts.PDESWorkers = workers
+			pfp, pviol, pcl, pch, err := checkedRun(id, fmt.Sprintf("seed=%d pdes-parallel", seed), runOpts)
+			if err != nil {
+				return nil, err
+			}
+
+			rep.Runs += 2
+			rep.Clusters += scl + pcl
+			rep.Checks += sch + pch
+			rep.Violations = append(rep.Violations, sviol...)
+			rep.Violations = append(rep.Violations, pviol...)
+			if sfp != pfp {
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("%s seed=%d: PDES serial-merge and parallel fingerprints differ", id, seed))
 			}
 		}
 	}

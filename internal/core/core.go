@@ -63,10 +63,19 @@ type Cluster struct {
 	Table *actor.Table
 	nodes map[string]*Node
 
+	// Group is non-nil on partitioned (PDES) clusters: nodes are
+	// assigned round-robin to its engines and Eng aliases partition 0.
+	Group       *sim.Group
+	pdesWorkers int
+	nextPart    int
+
 	tracer    *obs.Tracer
 	collector *obs.Collector
 	obsPrefix string
 	checker   *invariant.Checker
+	// checkers holds one invariant checker per partition (length 1 and
+	// identical to checker on classic clusters). See AttachCheckers.
+	checkers []*invariant.Checker
 
 	// onMembership listeners observe node crash/recovery transitions
 	// (see OnMembership in fault.go).
@@ -86,6 +95,68 @@ func NewCluster(seed uint64) *Cluster {
 		defaultObserver(c)
 	}
 	return c
+}
+
+// NewPartitionedCluster creates a cluster sharded across parts engine
+// partitions for conservative parallel execution: AddNode assigns each
+// node (all of its NIC/host/PCIe models) to a partition round-robin,
+// and the network switch hands packets across partitions (see
+// netsim.AttachOn). Drive it with Cluster.RunUntil; SetPDESWorkers
+// picks the parallelism (any worker count produces byte-identical
+// results). parts = 1 degenerates to a classic cluster.
+//
+// Partitioned nodes must set Config.DisableMigration: placement changes
+// rewrite the shared actor table, which partitions read concurrently.
+// The per-invocation watchdog is disabled for the same reason (its
+// kill path rewrites the table). Fault injection, tracing, and metrics
+// are likewise unsupported — the classic single-engine path remains the
+// tool for those studies.
+func NewPartitionedCluster(seed uint64, parts int) *Cluster {
+	if parts < 1 {
+		parts = 1
+	}
+	g := sim.NewGroup(seed, parts)
+	c := &Cluster{
+		Eng:   g.Engine(0),
+		Net:   netsim.NewPartitioned(g),
+		Table: actor.NewTable(),
+		nodes: map[string]*Node{},
+	}
+	if parts > 1 {
+		c.Group = g
+	}
+	if defaultObserver != nil {
+		defaultObserver(c)
+	}
+	return c
+}
+
+// Partitions returns the number of engine partitions (1 on classic
+// clusters).
+func (c *Cluster) Partitions() int {
+	if c.Group == nil {
+		return 1
+	}
+	return c.Group.Partitions()
+}
+
+// SetPDESWorkers bounds the goroutines used by RunUntil on partitioned
+// clusters; ≤ 1 runs all partitions on the caller's goroutine (the
+// serial merge — same results, no parallelism).
+func (c *Cluster) SetPDESWorkers(w int) { c.pdesWorkers = w }
+
+// RunUntil advances the cluster to the deadline: the partitioned run
+// loop on PDES clusters, plain Engine.RunUntil otherwise.
+func (c *Cluster) RunUntil(deadline sim.Time) {
+	if c.Group != nil {
+		workers := c.pdesWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		c.Group.RunUntil(deadline, workers)
+		return
+	}
+	c.Eng.RunUntil(deadline)
 }
 
 // Tracer returns the cluster's tracer (nil when tracing is disabled).
@@ -150,7 +221,9 @@ type Node struct {
 	eng *sim.Engine
 	cfg Config
 
-	Name      string
+	Name string
+	// Part is the node's engine partition (0 on classic clusters).
+	Part      int
 	NICModel  *spec.NICModel
 	HostModel *spec.HostModel
 
@@ -230,9 +303,24 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 		}
 	}
 
+	eng, part := c.Eng, 0
+	if c.Group != nil {
+		if !cfg.DisableMigration {
+			panic(fmt.Sprintf("core: node %q on a partitioned cluster must set DisableMigration "+
+				"(migration rewrites the shared actor table under concurrent readers)", cfg.Name))
+		}
+		// The watchdog's kill path also rewrites the actor table; a
+		// partitioned run keeps the table strictly read-only.
+		cfg.WatchdogTimeout = -1
+		part = c.nextPart % c.Group.Partitions()
+		c.nextPart++
+		eng = c.Group.Engine(part)
+	}
+
 	n := &Node{
 		c:          c,
-		eng:        c.Eng,
+		eng:        eng,
+		Part:       part,
 		cfg:        cfg,
 		Name:       cfg.Name,
 		NICModel:   cfg.NIC,
@@ -242,7 +330,7 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 		actors:     map[actor.ID]*actor.Actor{},
 	}
 
-	n.Host = hostsim.New(c.Eng, hostsim.Config{
+	n.Host = hostsim.New(eng, hostsim.Config{
 		Cores:    cfg.HostCores,
 		Steal:    true,
 		PollCost: 50 * sim.Nanosecond,
@@ -253,10 +341,10 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 	})
 
 	if cfg.NIC != nil {
-		n.Gate = nicsim.NewTrafficGate(c.Eng, cfg.NIC)
-		n.Accels = nicsim.NewAccelBank(c.Eng, cfg.NIC)
-		n.DMA = pcie.New(c.Eng, cfg.NIC.DMA)
-		n.Chan = msgring.NewChannel(c.Eng, n.DMA, cfg.RingSlots, cfg.RingBatch)
+		n.Gate = nicsim.NewTrafficGate(eng, cfg.NIC)
+		n.Accels = nicsim.NewAccelBank(eng, cfg.NIC)
+		n.DMA = pcie.New(eng, cfg.NIC.DMA)
+		n.Chan = msgring.NewChannel(eng, n.DMA, cfg.RingSlots, cfg.RingBatch)
 		n.Chan.OnHostReady = n.pumpToHost
 		n.Chan.OnNICReady = n.pumpToNIC
 
@@ -298,19 +386,19 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 			hooks.PushToHost = n.pushToHost
 			hooks.PullFromHost = n.pullFromHost
 		}
-		n.Sched = sched.New(c.Eng, scfg, hooks)
+		n.Sched = sched.New(eng, scfg, hooks)
 	}
 
 	c.nodes[cfg.Name] = n
-	c.Net.Attach(cfg.Name, link, n)
+	c.Net.AttachOn(cfg.Name, link, n, part)
 	if c.tracer != nil {
 		n.enableTracing(c.tracer)
 	}
 	if c.collector != nil {
 		n.enableMetrics(c.collector)
 	}
-	if c.checker != nil {
-		n.enableInvariants(c.checker)
+	if len(c.checkers) > 0 {
+		n.enableInvariants(c.checkers[part])
 	}
 	return n
 }

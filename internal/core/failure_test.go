@@ -39,10 +39,10 @@ func TestRetryRecoversFromLoss(t *testing.T) {
 	cl.Eng.Run()
 	if client.Received != reqs {
 		t.Fatalf("received %d of %d despite retries (lost=%d retried=%d)",
-			client.Received, reqs, cl.Net.Lost, client.Retried)
+			client.Received, reqs, cl.Net.Lost(), client.Retried)
 	}
-	if cl.Net.Lost == 0 || client.Retried == 0 {
-		t.Fatalf("loss injection inert: lost=%d retried=%d", cl.Net.Lost, client.Retried)
+	if cl.Net.Lost() == 0 || client.Retried == 0 {
+		t.Fatalf("loss injection inert: lost=%d retried=%d", cl.Net.Lost(), client.Retried)
 	}
 }
 
@@ -110,7 +110,7 @@ func TestPaxosToleratesSingleLinkLoss(t *testing.T) {
 	}
 	cl.Eng.Run()
 	if acked != writes {
-		t.Fatalf("acked %d of %d writes under loss (lost=%d)", acked, writes, cl.Net.Lost)
+		t.Fatalf("acked %d of %d writes under loss (lost=%d)", acked, writes, cl.Net.Lost())
 	}
 	// Every acked key is readable at the leader afterwards.
 	misses := 0

@@ -15,14 +15,46 @@ import (
 // ignored. The fault injector picks the checker up at Install time and
 // stamps a fingerprint epoch at every fault activation/restoration.
 func (c *Cluster) EnableInvariants(chk *invariant.Checker) {
-	if chk == nil || c.checker != nil {
+	if chk == nil || len(c.checkers) > 0 {
 		return
 	}
+	if c.Partitions() > 1 {
+		panic("core: partitioned clusters take one checker per partition (AttachCheckers)")
+	}
 	c.checker = chk
+	c.checkers = []*invariant.Checker{chk}
 	c.Net.EnableInvariants(chk)
 	for _, name := range c.nodeNames() {
 		c.nodes[name].enableInvariants(chk)
 	}
+}
+
+// AttachCheckers creates and wires one invariant checker per engine
+// partition — the granularity conservation must be checked at under
+// PDES, since each partition's ledger only sees its own events (cross-
+// partition packets are reconciled by the handoff counters). On classic
+// clusters it is EnableInvariants with a single fresh checker. Returns
+// the checkers, in partition order; idempotent.
+func (c *Cluster) AttachCheckers() []*invariant.Checker {
+	if len(c.checkers) > 0 {
+		return c.checkers
+	}
+	if c.Partitions() <= 1 {
+		c.EnableInvariants(invariant.New(c.Eng))
+		return c.checkers
+	}
+	c.checkers = make([]*invariant.Checker, c.Partitions())
+	for p := range c.checkers {
+		chk := invariant.New(c.Group.Engine(p))
+		c.checkers[p] = chk
+		c.Net.EnableInvariantsAt(p, chk)
+	}
+	c.checker = c.checkers[0]
+	for _, name := range c.nodeNames() {
+		n := c.nodes[name]
+		n.enableInvariants(c.checkers[n.Part])
+	}
+	return c.checkers
 }
 
 // Checker returns the cluster's invariant checker (nil when checking is

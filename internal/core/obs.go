@@ -58,6 +58,9 @@ func (c *Cluster) EnableTracingPrefixed(tr *obs.Tracer, prefix string) {
 	if !tr.Enabled() || c.tracer != nil {
 		return
 	}
+	if c.Partitions() > 1 {
+		panic("core: tracing is not supported on partitioned (PDES) clusters")
+	}
 	c.tracer = tr
 	c.obsPrefix = prefix
 	c.Net.EnableTracing(tr, func(node string) obs.GroupID { return tr.Group(prefix + node) })
@@ -77,6 +80,9 @@ func (c *Cluster) EnableMetrics(col *obs.Collector) { c.EnableMetricsPrefixed(co
 func (c *Cluster) EnableMetricsPrefixed(col *obs.Collector, prefix string) {
 	if col == nil || c.collector != nil {
 		return
+	}
+	if c.Partitions() > 1 {
+		panic("core: metrics collection is not supported on partitioned (PDES) clusters")
 	}
 	c.collector = col
 	c.obsPrefix = prefix

@@ -16,6 +16,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -224,6 +225,12 @@ type Injector struct {
 // intended loud failure for a mis-built schedule. Installing an empty
 // schedule is allowed and yields an injector that never fires.
 func Install(cl *core.Cluster, s Schedule) (*Injector, error) {
+	if cl.Partitions() > 1 && len(s.Faults) > 0 {
+		// Fault mechanisms (crash drains, loss-rate writes, partition
+		// cuts) mutate cluster-wide state that PDES partitions read
+		// concurrently; the classic engine remains the fault vehicle.
+		return nil, errors.New("fault: injection is not supported on partitioned (PDES) clusters")
+	}
 	if err := s.Validate(cl); err != nil {
 		return nil, err
 	}

@@ -52,10 +52,17 @@ type Checker struct {
 	checks     uint64 // individual predicate evaluations
 	epochs     []string
 
-	// Message conservation at the network layer.
+	// Message conservation at the network layer. Under a partitioned
+	// (PDES) run each partition has its own checker, and a packet that
+	// crosses partitions is injected on one ledger but delivered on
+	// another; the handoff counters reconcile the two so conservation
+	// still balances per checker: injected + in = delivered + dropped
+	// + out at quiescence.
 	netInjected  uint64
 	netDelivered uint64
 	netDropped   uint64
+	netXferOut   uint64 // packets handed off to another partition
+	netXferIn    uint64 // packets received from another partition
 
 	// Traffic-gate conservation (admitted packets must all clear the
 	// pipeline).
@@ -166,11 +173,37 @@ func (c *Checker) NetDeliver() {
 		return
 	}
 	c.netDelivered++
+	c.netBalance()
+}
+
+// NetHandoffOut records a packet leaving this checker's partition for
+// another one (its delivery or drop will land on the peer's ledger).
+func (c *Checker) NetHandoffOut() {
+	if c == nil {
+		return
+	}
+	c.netXferOut++
+	c.netBalance()
+}
+
+// NetHandoffIn records a packet arriving from another partition; from
+// here on it is this ledger's responsibility.
+func (c *Checker) NetHandoffIn() {
+	if c == nil {
+		return
+	}
+	c.netXferIn++
+}
+
+// netBalance checks that outcomes (delivered + dropped + handed off)
+// never exceed responsibilities (injected + received); the difference
+// is the in-flight count, which must stay ≥ 0.
+func (c *Checker) netBalance() {
 	c.checks++
-	if c.netDelivered+c.netDropped > c.netInjected {
+	if c.netDelivered+c.netDropped+c.netXferOut > c.netInjected+c.netXferIn {
 		c.violate("net-conservation",
-			"delivered %d + dropped %d exceeds injected %d",
-			c.netDelivered, c.netDropped, c.netInjected)
+			"delivered %d + dropped %d + out %d exceeds injected %d + in %d",
+			c.netDelivered, c.netDropped, c.netXferOut, c.netInjected, c.netXferIn)
 	}
 }
 
@@ -183,12 +216,7 @@ func (c *Checker) NetDrop(reason string) {
 	}
 	_ = reason
 	c.netDropped++
-	c.checks++
-	if c.netDelivered+c.netDropped > c.netInjected {
-		c.violate("net-conservation",
-			"delivered %d + dropped %d exceeds injected %d",
-			c.netDelivered, c.netDropped, c.netInjected)
-	}
+	c.netBalance()
 }
 
 // --- traffic-gate conservation ----------------------------------------
@@ -357,8 +385,9 @@ func (c *Checker) LeaderClaim(group string, ballot uint64, replica int) {
 // runs produce identical lines.
 func (c *Checker) countersLine() string {
 	return fmt.Sprintf(
-		"net=%d/%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d",
+		"net=%d/%d/%d xfer=%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d",
 		c.netInjected, c.netDelivered, c.netDropped,
+		c.netXferOut, c.netXferIn,
 		c.gateAdmitted, c.gateDelivered,
 		c.execCompleted, c.queuePushes, c.queuePops, c.drrVisits,
 		c.ringOps, c.dmoAlloc, c.dmoFree, c.leaderCount())
@@ -394,10 +423,10 @@ func (c *Checker) Finish() {
 	}
 	if c.eng != nil && c.eng.Pending() == 0 {
 		c.checks++
-		if inflight := c.netInjected - c.netDelivered - c.netDropped; inflight != 0 {
+		if inflight := (c.netInjected + c.netXferIn) - (c.netDelivered + c.netDropped + c.netXferOut); inflight != 0 {
 			c.violate("net-conservation",
-				"engine drained with %d packets unaccounted (injected %d, delivered %d, dropped %d)",
-				inflight, c.netInjected, c.netDelivered, c.netDropped)
+				"engine drained with %d packets unaccounted (injected %d, in %d, delivered %d, dropped %d, out %d)",
+				inflight, c.netInjected, c.netXferIn, c.netDelivered, c.netDropped, c.netXferOut)
 		}
 		c.checks++
 		if c.gateAdmitted != c.gateDelivered {

@@ -1,0 +1,205 @@
+// Package mesh builds the datacenter-scale topologies the PDES engine
+// exists for: N SmartNIC-equipped server nodes behind one switch, each
+// paired with a closed-loop client, all clients issuing small RPCs to
+// Zipf-chosen servers. It is the "millions of users hitting a few hot
+// nodes" shape of the paper's RKV evaluation blown up past the 8-node
+// testbed — the workload is deliberately simple (echo-style RPC with a
+// fixed NIC-side service cost) so the experiment measures the engine
+// and the fabric, not an application.
+//
+// Every node (its NIC, host, PCIe and link models) and its client live
+// on one engine partition; only the switch hop crosses partitions.
+// Results are deterministic for a fixed (seed, nodes, partitions)
+// triple regardless of worker count.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config sizes one mesh run.
+type Config struct {
+	// Nodes is the server count (≥ 2).
+	Nodes int
+	// Partitions shards the topology across this many engines (default
+	// min(8, Nodes)). 1 is the classic serial engine.
+	Partitions int
+	// Workers bounds the goroutines executing partitions (≤ 1 = serial
+	// merge; results are identical either way).
+	Workers int
+	Seed    uint64
+	// Depth is each client's closed-loop outstanding-request window
+	// (default 2).
+	Depth int
+	// Theta is the Zipf skew over destination servers (default 0.99,
+	// the paper's RKV skew).
+	Theta float64
+	// ReqSize is the request wire size in bytes (default 256).
+	ReqSize int
+	// ServiceNs is the actor's modeled execution cost per request on
+	// the reference NIC core (default 1500ns — an RKV-like GET).
+	ServiceNs int
+	// Window is the measured run length (default 2ms).
+	Window sim.Time
+	// Check attaches per-partition invariant checkers.
+	Check bool
+}
+
+// Stats is one run's deterministic outcome plus its wall-clock cost.
+// Ops/latency/Events depend only on (Seed, Nodes, Partitions, workload
+// shape); Wall is the only field that varies run to run.
+type Stats struct {
+	Nodes      int
+	Partitions int
+	Workers    int
+	Ops        uint64  // responses received across all clients
+	Sent       uint64  // requests issued
+	TputKops   float64 // Ops per simulated second, in thousands
+	P50us      float64
+	P99us      float64
+	Events     uint64 // engine events executed
+	Crossed    uint64 // cross-partition handoffs
+	Rounds     uint64 // synchronization windows (0 when Partitions == 1)
+	Wall       time.Duration
+	Violations int // ledgers with violations; -1 when Check is off
+	// Fingerprint concatenates the per-partition invariant fingerprints
+	// (empty when Check is off) — the byte-comparison artifact for the
+	// serial-vs-parallel replay axis.
+	Fingerprint string
+}
+
+func nodeName(i int) string { return fmt.Sprintf("n%03d", i) }
+
+// Run builds the mesh, drives it for the window, and reports.
+func Run(cfg Config) Stats {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = cfg.Nodes
+		if cfg.Partitions > 8 {
+			cfg.Partitions = 8
+		}
+	}
+	if cfg.Partitions > cfg.Nodes {
+		cfg.Partitions = cfg.Nodes
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 2
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.ReqSize <= 0 {
+		cfg.ReqSize = 256
+	}
+	if cfg.ServiceNs <= 0 {
+		cfg.ServiceNs = 1500
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * sim.Millisecond
+	}
+
+	cl := core.NewPartitionedCluster(cfg.Seed, cfg.Partitions)
+	cl.SetPDESWorkers(cfg.Workers)
+	var chks []*invariant.Checker
+	if cfg.Check {
+		chks = cl.AttachCheckers()
+	}
+
+	serviceCost := sim.Time(cfg.ServiceNs)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := cl.AddNode(core.Config{
+			Name:             nodeName(i),
+			NIC:              spec.LiquidIOII_CN2350(),
+			DisableMigration: true,
+		})
+		a := &actor.Actor{
+			ID:     actor.ID(1 + i),
+			Name:   fmt.Sprintf("svc%03d", i),
+			PinNIC: true,
+			OnMessage: func(ctx actor.Ctx, m actor.Msg) sim.Time {
+				ctx.Reply(m)
+				return serviceCost
+			},
+		}
+		if err := n.Register(a, true, 1<<20); err != nil {
+			panic(err)
+		}
+	}
+
+	// One closed-loop client per server node, attached on the same
+	// partition so its request generation parallelizes with it.
+	clients := make([]*workload.Client, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := cl.Node(nodeName(i))
+		clients[i] = workload.NewClientAt(cl, fmt.Sprintf("c%03d", i), cl.Net.LinkGbps(node.Name), node.Part)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		c := clients[i]
+		zipf := workload.NewZipf(c.Eng().Rand(), uint64(cfg.Nodes), cfg.Theta)
+		c.ClosedLoop(cfg.Depth, cfg.Window, func(k uint64) workload.Request {
+			dst := int(zipf.Next())
+			if dst == i {
+				dst = (dst + 1) % cfg.Nodes // never self: keep traffic on the wire
+			}
+			return workload.Request{
+				Node:   nodeName(dst),
+				Dst:    actor.ID(1 + dst),
+				Size:   cfg.ReqSize,
+				FlowID: uint64(i)<<32 | (k + 1),
+			}
+		})
+	}
+
+	start := time.Now()
+	cl.RunUntil(cfg.Window)
+	wall := time.Since(start)
+
+	out := Stats{
+		Nodes:      cfg.Nodes,
+		Partitions: cfg.Partitions,
+		Workers:    cfg.Workers,
+		Wall:       wall,
+		Violations: -1,
+	}
+	lat := stats.NewSample()
+	for _, c := range clients { // fixed order: deterministic percentiles
+		out.Ops += c.Received
+		out.Sent += c.Sent
+		lat.Merge(c.Lat)
+	}
+	out.TputKops = float64(out.Ops) / cfg.Window.Seconds() / 1e3
+	out.P50us = lat.Percentile(50)
+	out.P99us = lat.Percentile(99)
+	if cl.Group != nil {
+		out.Events = cl.Group.ExecutedEvents()
+		out.Crossed = cl.Group.Crossed()
+		out.Rounds = cl.Group.Rounds()
+	} else {
+		out.Events = cl.Eng.Executed()
+	}
+	if cfg.Check {
+		out.Violations = 0
+		var fp string
+		for _, chk := range chks {
+			chk.Finish()
+			if err := chk.Err(); err != nil {
+				out.Violations++
+			}
+			fp += chk.Fingerprint()
+		}
+		out.Fingerprint = fp
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package mesh
+
+import "testing"
+
+// TestMeshParallelMatchesSerialMerge is the end-to-end determinism
+// property of the PDES engine: a partitioned mesh run in parallel must
+// be indistinguishable — ops, latency percentiles, event counts, and
+// invariant fingerprints — from the same partitioned mesh executed one
+// window at a time on a single goroutine.
+func TestMeshParallelMatchesSerialMerge(t *testing.T) {
+	base := Config{Nodes: 12, Partitions: 4, Seed: 7, Check: true}
+	for _, seed := range []uint64{7, 1234} {
+		cfg := base
+		cfg.Seed = seed
+		cfg.Workers = 1
+		serial := Run(cfg)
+		cfg.Workers = 4
+		parallel := Run(cfg)
+
+		// Wall varies run to run and Workers is the knob under test;
+		// every other field must match bit for bit.
+		serial.Wall, parallel.Wall = 0, 0
+		serial.Workers, parallel.Workers = 0, 0
+		if serial != parallel {
+			t.Fatalf("seed %d: parallel diverged from serial merge:\n  serial:   %+v\n  parallel: %+v",
+				seed, serial, parallel)
+		}
+		if serial.Ops == 0 || serial.Crossed == 0 {
+			t.Fatalf("seed %d: degenerate run: %+v", seed, serial)
+		}
+		if serial.Violations != 0 {
+			t.Fatalf("seed %d: %d ledgers reported violations", seed, serial.Violations)
+		}
+	}
+}
+
+// TestMeshSinglePartitionRuns: Partitions=1 (the classic engine) also
+// works and produces traffic — the degenerate case every classic
+// experiment relies on under -pdes.
+func TestMeshSinglePartitionRuns(t *testing.T) {
+	s := Run(Config{Nodes: 4, Partitions: 1, Seed: 3, Check: true})
+	if s.Ops == 0 || s.Violations != 0 {
+		t.Fatalf("classic mesh degenerate: %+v", s)
+	}
+	if s.Rounds != 0 || s.Crossed != 0 {
+		t.Fatalf("classic mesh should not report PDES sync state: %+v", s)
+	}
+}
+
+// TestMeshZipfSkew: the hot server must see disproportionate traffic —
+// the workload shape the PDES scheduler has to survive.
+func TestMeshZipfSkew(t *testing.T) {
+	s := Run(Config{Nodes: 8, Partitions: 2, Seed: 1})
+	if s.Sent < s.Ops {
+		t.Fatalf("received %d more than sent %d", s.Ops, s.Sent)
+	}
+	if s.P99us < s.P50us || s.P50us <= 0 {
+		t.Fatalf("latency percentiles degenerate: p50=%v p99=%v", s.P50us, s.P99us)
+	}
+}

@@ -56,24 +56,31 @@ func newLink(eng *sim.Engine, gbps float64, prop sim.Time) *link {
 
 // Network is a star topology: every node connects to one switch. That is
 // exactly the testbed shape (a ToR switch with client and server boxes).
+//
+// A network is either classic — every port on one engine — or
+// partitioned (NewPartitioned): ports are pinned to the engines of a
+// sim.Group and the switch becomes the PDES synchronization boundary.
+// A packet whose source and destination live on different partitions is
+// handed across at the moment it leaves the source uplink, via
+// Group.Inject; the propagation + switch-fabric floor of the slowest
+// such hop is exactly the lookahead the group needs, and AttachOn
+// registers it. Delivery counters live on the (partition-pinned) ports
+// so the hot path stays lock-free; the Network aggregates them on read.
 type Network struct {
 	eng *sim.Engine
+	// group is non-nil on partitioned networks.
+	group *sim.Group
 	// SwitchLatency models store-and-forward plus fabric latency.
 	SwitchLatency sim.Time
 
 	nodes map[string]*port
-	// Drops counts packets addressed to unknown nodes.
-	Drops uint64
-	// Delivered counts successfully delivered packets.
-	Delivered uint64
+	// orphanDrops counts packets sent from unknown nodes (no port to
+	// account them on).
+	orphanDrops uint64
 
 	// LossRate drops each packet independently with this probability
 	// (failure injection; the testbed's switch is otherwise lossless).
 	LossRate float64
-	// Lost counts packets dropped by injected loss.
-	Lost uint64
-	// PartitionDrops counts packets dropped by severed node pairs.
-	PartitionDrops uint64
 
 	// nodeLoss holds per-node loss probabilities (applied to traffic in
 	// either direction); blocked holds severed directed pairs. Both are
@@ -83,14 +90,27 @@ type Network struct {
 
 	tracer  *obs.Tracer
 	groupOf func(node string) obs.GroupID
-	chk     *invariant.Checker
+	// chks holds one conservation checker per partition (index 0 on
+	// classic networks). Sparse: entries may be nil.
+	chks []*invariant.Checker
 }
 
 type port struct {
 	name    string
+	eng     *sim.Engine // the partition engine this port lives on
+	part    int
 	up      *link // node → switch
 	down    *link // switch → node
 	handler Handler
+
+	// Per-port conservation counters. delivered counts packets this
+	// port received; the drop buckets count packets this port sent that
+	// never made it. Each is only ever touched from the port's own
+	// partition, so no synchronization is needed.
+	delivered      uint64
+	drops          uint64
+	lost           uint64
+	partitionDrops uint64
 
 	// Trace tracks for the two link directions (obs.NoTrack when tracing
 	// is off — the zero TrackID is a real track, so these must be
@@ -107,39 +127,136 @@ func New(eng *sim.Engine) *Network {
 	return &Network{eng: eng, SwitchLatency: DefaultSwitchLatency, nodes: map[string]*port{}}
 }
 
-// Engine returns the underlying simulation engine.
+// NewPartitioned creates an empty network whose ports attach to the
+// partitions of g (see AttachOn). With a single-partition group this is
+// exactly New on that partition's engine.
+func NewPartitioned(g *sim.Group) *Network {
+	n := New(g.Engine(0))
+	if g.Partitions() > 1 {
+		n.group = g
+	}
+	return n
+}
+
+// Engine returns the underlying simulation engine (partition 0's on
+// partitioned networks).
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // EnableInvariants attaches the message-conservation checker: every
 // packet entering the fabric must eventually be delivered or counted
 // into a drop bucket (injected = delivered + dropped + in-flight).
+// Partitioned networks need one checker per partition — use
+// EnableInvariantsAt.
 func (n *Network) EnableInvariants(chk *invariant.Checker) {
-	if chk == nil || n.chk != nil {
+	if n.group != nil {
+		panic("netsim: partitioned networks take one checker per partition (EnableInvariantsAt)")
+	}
+	n.EnableInvariantsAt(0, chk)
+}
+
+// EnableInvariantsAt attaches the conservation checker for one
+// partition's ledger. Cross-partition packets are reconciled between
+// ledgers with handoff counters at the switch boundary.
+func (n *Network) EnableInvariantsAt(part int, chk *invariant.Checker) {
+	if chk == nil {
 		return
 	}
-	n.chk = chk
+	for len(n.chks) <= part {
+		n.chks = append(n.chks, nil)
+	}
+	if n.chks[part] == nil {
+		n.chks[part] = chk
+	}
+}
+
+// chkAt returns partition part's checker; nil (the disabled checker)
+// when none is attached.
+func (n *Network) chkAt(part int) *invariant.Checker {
+	if part < len(n.chks) {
+		return n.chks[part]
+	}
+	return nil
 }
 
 // Attach connects a node with the given link speed and registers its
 // receive handler. Attaching a duplicate name panics: it is a topology
-// construction bug.
+// construction bug. On partitioned networks the port lands on
+// partition 0; use AttachOn to place it.
 func (n *Network) Attach(name string, gbps float64, h Handler) {
+	n.AttachOn(name, gbps, h, 0)
+}
+
+// AttachOn is Attach pinning the port to a partition of the network's
+// group. Everything that runs on behalf of this node — its link
+// serializers, its receive handler — executes on that partition's
+// engine.
+func (n *Network) AttachOn(name string, gbps float64, h Handler, part int) {
 	if _, dup := n.nodes[name]; dup {
 		panic(fmt.Sprintf("netsim: node %q attached twice", name))
+	}
+	eng := n.eng
+	if n.group != nil {
+		eng = n.group.Engine(part)
+	} else if part != 0 {
+		panic(fmt.Sprintf("netsim: partition %d on an unpartitioned network", part))
 	}
 	prop := 300 * sim.Nanosecond // NIC MAC + cable
 	p := &port{
 		name:    name,
-		up:      newLink(n.eng, gbps, prop),
-		down:    newLink(n.eng, gbps, prop),
+		eng:     eng,
+		part:    part,
+		up:      newLink(eng, gbps, prop),
+		down:    newLink(eng, gbps, prop),
 		handler: h,
 		txTrack: obs.NoTrack,
 		rxTrack: obs.NoTrack,
 	}
 	n.nodes[name] = p
+	if n.group != nil {
+		// The switch hop is the minimum cross-partition latency: a
+		// handoff happens after uplink serialization, and covers
+		// propagation to the switch plus the fabric delay.
+		n.group.TightenLookahead(prop + n.SwitchLatency)
+	}
 	if n.tracer != nil {
 		n.tracePort(p)
 	}
+}
+
+// Delivered counts successfully delivered packets.
+func (n *Network) Delivered() uint64 {
+	var total uint64
+	for _, p := range n.nodes {
+		total += p.delivered
+	}
+	return total
+}
+
+// Drops counts packets addressed to (or sent from) unknown nodes.
+func (n *Network) Drops() uint64 {
+	total := n.orphanDrops
+	for _, p := range n.nodes {
+		total += p.drops
+	}
+	return total
+}
+
+// Lost counts packets dropped by injected loss.
+func (n *Network) Lost() uint64 {
+	var total uint64
+	for _, p := range n.nodes {
+		total += p.lost
+	}
+	return total
+}
+
+// PartitionDrops counts packets dropped by severed node pairs.
+func (n *Network) PartitionDrops() uint64 {
+	var total uint64
+	for _, p := range n.nodes {
+		total += p.partitionDrops
+	}
+	return total
 }
 
 // EnableTracing registers one trace track per link direction for every
@@ -151,6 +268,11 @@ func (n *Network) Attach(name string, gbps float64, h Handler) {
 func (n *Network) EnableTracing(tr *obs.Tracer, group func(node string) obs.GroupID) {
 	if !tr.Enabled() {
 		return
+	}
+	if n.group != nil {
+		// The tracer buffers spans from all tracks in one arena; ports
+		// on different partitions would race on it.
+		panic("netsim: tracing is not supported on partitioned networks")
 	}
 	n.tracer = tr
 	n.groupOf = group
@@ -252,35 +374,44 @@ func (n *Network) effectiveLoss(src, dst string) float64 {
 // downlink, and is then delivered. Sending from or to an unknown node
 // drops the packet (counted in Drops), mirroring a real switch flooding
 // to nowhere.
+//
+// Send must be called from the source node's partition. When the
+// destination lives on another partition the packet is injected across
+// at the moment it has left the source uplink — the remaining
+// propagation + fabric delay is the lookahead that makes the handoff
+// safe — and everything from the downlink queue on runs on the
+// destination's engine.
 func (n *Network) Send(pkt *Packet) {
 	src, ok := n.nodes[pkt.Src]
 	if !ok {
-		n.Drops++
-		n.chk.NetInject()
-		n.chk.NetDrop("unknown-src")
+		n.orphanDrops++
+		chk := n.chkAt(0)
+		chk.NetInject()
+		chk.NetDrop("unknown-src")
 		return
 	}
+	chk := n.chkAt(src.part)
 	dst, ok := n.nodes[pkt.Dst]
 	if !ok {
-		n.Drops++
-		n.chk.NetInject()
-		n.chk.NetDrop("unknown-dst")
+		src.drops++
+		chk.NetInject()
+		chk.NetDrop("unknown-dst")
 		return
 	}
 	if len(n.blocked) > 0 && n.blocked[[2]string{pkt.Src, pkt.Dst}] {
-		n.PartitionDrops++
-		n.chk.NetInject()
-		n.chk.NetDrop("partition")
+		src.partitionDrops++
+		chk.NetInject()
+		chk.NetDrop("partition")
 		return
 	}
-	if loss := n.effectiveLoss(pkt.Src, pkt.Dst); loss > 0 && n.eng.Rand().Float64() < loss {
-		n.Lost++
-		n.chk.NetInject()
-		n.chk.NetDrop("loss")
+	if loss := n.effectiveLoss(pkt.Src, pkt.Dst); loss > 0 && src.eng.Rand().Float64() < loss {
+		src.lost++
+		chk.NetInject()
+		chk.NetDrop("loss")
 		return
 	}
-	pkt.SentAt = n.eng.Now()
-	n.chk.NetInject()
+	pkt.SentAt = src.eng.Now()
+	chk.NetInject()
 	wire := spec.SerializationDelay(src.up.gbps, pkt.Size)
 	src.up.station.Submit(&sim.Job{
 		Service: wire,
@@ -289,22 +420,35 @@ func (n *Network) Send(pkt *Packet) {
 				obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 			// Propagation to switch, then queue on the downlink after
 			// the switch fabric delay.
-			n.eng.After(src.up.propagation+n.SwitchLatency, func() {
-				down := spec.SerializationDelay(dst.down.gbps, pkt.Size)
-				dst.down.station.Submit(&sim.Job{
-					Service: down,
-					Done: func(enq, started, fin sim.Time) {
-						n.tracer.Span(dst.rxTrack, "frame", started, fin,
-							obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
-						n.eng.After(dst.down.propagation, func() {
-							n.Delivered++
-							n.chk.NetDeliver()
-							if dst.handler != nil {
-								dst.handler.Deliver(pkt)
-							}
-						})
-					},
-				})
+			hop := src.up.propagation + n.SwitchLatency
+			if n.group == nil || src.part == dst.part {
+				src.eng.After(hop, func() { n.arrive(dst, pkt) })
+				return
+			}
+			n.chkAt(src.part).NetHandoffOut()
+			n.group.Inject(src.part, dst.part, src.eng.Now()+hop, func() {
+				n.chkAt(dst.part).NetHandoffIn()
+				n.arrive(dst, pkt)
+			})
+		},
+	})
+}
+
+// arrive runs on the destination's partition: the packet queues on the
+// downlink, serializes, propagates, and is delivered.
+func (n *Network) arrive(dst *port, pkt *Packet) {
+	down := spec.SerializationDelay(dst.down.gbps, pkt.Size)
+	dst.down.station.Submit(&sim.Job{
+		Service: down,
+		Done: func(enq, started, fin sim.Time) {
+			n.tracer.Span(dst.rxTrack, "frame", started, fin,
+				obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
+			dst.eng.After(dst.down.propagation, func() {
+				dst.delivered++
+				n.chkAt(dst.part).NetDeliver()
+				if dst.handler != nil {
+					dst.handler.Deliver(pkt)
+				}
 			})
 		},
 	})

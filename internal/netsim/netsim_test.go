@@ -86,8 +86,8 @@ func TestUnknownNodesDrop(t *testing.T) {
 	if len(*got) != 0 {
 		t.Fatal("packets to/from unknown nodes must not deliver")
 	}
-	if net.Drops != 2 {
-		t.Fatalf("Drops = %d, want 2", net.Drops)
+	if net.Drops() != 2 {
+		t.Fatalf("Drops = %d, want 2", net.Drops())
 	}
 }
 
@@ -158,14 +158,14 @@ func TestLossInjection(t *testing.T) {
 		net.Send(&Packet{Src: "a", Dst: "b", Size: 64})
 	}
 	eng.Run()
-	if net.Lost == 0 || delivered == 0 {
-		t.Fatalf("loss injection degenerate: lost=%d delivered=%d", net.Lost, delivered)
+	if net.Lost() == 0 || delivered == 0 {
+		t.Fatalf("loss injection degenerate: lost=%d delivered=%d", net.Lost(), delivered)
 	}
-	if net.Lost+uint64(delivered) != 400 {
-		t.Fatalf("accounting: %d + %d != 400", net.Lost, delivered)
+	if net.Lost()+uint64(delivered) != 400 {
+		t.Fatalf("accounting: %d + %d != 400", net.Lost(), delivered)
 	}
 	// Roughly half lost.
-	if net.Lost < 120 || net.Lost > 280 {
-		t.Fatalf("lost %d of 400 at 50%% rate", net.Lost)
+	if net.Lost() < 120 || net.Lost() > 280 {
+		t.Fatalf("lost %d of 400 at 50%% rate", net.Lost())
 	}
 }

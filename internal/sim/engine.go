@@ -8,7 +8,10 @@
 // The engine is single-threaded by design — determinism comes from the
 // total (time, seq) event order. Concurrency in the experiment harness is
 // achieved by running many independent Engines, one per sweep point, not
-// by sharing one engine across goroutines.
+// by sharing one engine across goroutines. Within a single simulation,
+// Group (partition.go) shards one topology across several engines and
+// advances them conservatively in parallel; each engine still only ever
+// runs on one goroutine at a time.
 package sim
 
 import (
@@ -155,11 +158,22 @@ func (e *Engine) alloc() *event {
 	return &event{}
 }
 
+// maxFreeEvents bounds the free list. A burst of short-lived events
+// (message trains, retry storms) can momentarily inflate the heap to
+// hundreds of thousands of shells; without a cap every one of them
+// would stay pinned on the free list for the rest of the run. Beyond
+// the cap, shells are released to the GC instead. Steady-state churn
+// far below the cap still allocates nothing (see BenchmarkEnginePool*).
+const maxFreeEvents = 4096
+
 // recycle invalidates outstanding Timer handles for ev and returns it to
-// the free list.
+// the free list (or drops it once the list is full).
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	if len(e.free) >= maxFreeEvents {
+		return
+	}
 	e.free = append(e.free, ev)
 }
 
@@ -259,6 +273,53 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor executes events for a span of virtual time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// nextTime returns the time of the earliest pending event, or MaxTime
+// when none remain. Cancelled events at the top are discarded on the
+// way, so the bound is exact. The partitioned run loop (Group) uses it
+// to compute the global safe horizon.
+func (e *Engine) nextTime() Time {
+	for len(e.q) > 0 {
+		top := e.q[0]
+		if top.state != stateStopped {
+			return top.at
+		}
+		e.q.pop()
+		e.dead--
+		e.recycle(top)
+	}
+	return MaxTime
+}
+
+// runWindow executes every event strictly before limit, including
+// events that callbacks schedule inside the window while it runs. The
+// clock is left at the last executed event (not advanced to limit):
+// windows are a synchronization construct, not a time span, and the
+// next window's events may still land between now and limit. Executed
+// counts flush to the process-wide meter every window so progress
+// reporting stays live during long partitioned runs.
+func (e *Engine) runWindow(limit Time) {
+	for len(e.q) > 0 {
+		top := e.q[0]
+		if top.state == stateStopped {
+			e.q.pop()
+			e.dead--
+			e.recycle(top)
+			continue
+		}
+		if top.at >= limit {
+			break
+		}
+		e.q.pop()
+		e.now = top.at
+		fn := top.fn
+		top.state = stateFired
+		e.recycle(top)
+		e.ran++
+		fn()
+	}
+	e.flushExecuted()
+}
 
 // flushExecuted publishes this engine's progress to the process-wide
 // counter. Called at the end of Run/RunUntil, never per event.

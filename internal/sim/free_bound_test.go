@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestFreeListBounded: a burst far larger than the cap must not pin
+// every shell on the free list for the rest of the run.
+func TestFreeListBounded(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4*maxFreeEvents; i++ {
+		e.At(Time(i), fn)
+	}
+	e.Run()
+	if got := len(e.free); got > maxFreeEvents {
+		t.Fatalf("free list holds %d shells after burst, cap is %d", got, maxFreeEvents)
+	}
+	// Steady churn below the cap still reuses shells: no growth.
+	before := len(e.free)
+	for i := 0; i < 1000; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+	if got := len(e.free); got != before {
+		t.Fatalf("free list drifted from %d to %d under steady churn", before, got)
+	}
+}
+
+// TestFreeListSteadyStateNoAlloc: once warmed, the schedule→fire cycle
+// must not allocate — the pool's entire purpose.
+func TestFreeListSteadyStateNoAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the pool and the heap slice
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f objects per op", allocs)
+	}
+}
+
+// BenchmarkEngineSteadyState measures the post-burst steady state the
+// free-list bound protects: schedule→fire churn with a warm pool.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4*maxFreeEvents; i++ { // burst, then drain
+		e.At(Time(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}

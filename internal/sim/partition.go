@@ -1,0 +1,345 @@
+package sim
+
+// Conservative parallel discrete-event simulation (PDES).
+//
+// A Group shards one simulation across several Engines ("partitions"),
+// typically one per simulated node or group of nodes. Partitions
+// advance concurrently inside bounded windows: every round, the group
+// computes the earliest pending event time T across all partitions
+// (heaps and cross-partition inboxes alike) and lets every partition
+// execute events strictly before T + lookahead. Lookahead is the
+// guaranteed minimum latency of any cross-partition interaction — for
+// the netsim topology, the propagation + switch-fabric floor of the
+// fastest link — so no event executed in a window can schedule work on
+// another partition inside that same window. This is the classic
+// window-based conservative protocol (the degenerate, all-to-all form
+// of Chandy–Misra–Bryant null messages: the barrier is one implicit
+// null message at time T+lookahead from everyone to everyone).
+//
+// Determinism: the window structure is a pure function of simulation
+// state — T depends only on pending events, never on wall-clock or
+// goroutine interleaving — and partitions share no mutable state, so a
+// run with W workers executes exactly the events a run with 1 worker
+// does, in the same per-partition order. Cross-partition events carry a
+// (time, source partition, source sequence) stamp and are folded into
+// the destination's heap in that order at window start, which pins the
+// destination-side seq assignment regardless of arrival interleaving —
+// the "deterministic seq-merge rule". Each partition seeds its own PRNG
+// stream from the group seed, so random draws are partition-local and
+// unaffected by scheduling.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// goldenGamma is the splitmix64 increment; partition i derives its seed
+// as seed + i·goldenGamma, so partition 0 matches a classic single
+// engine built with NewEngine(seed).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// xevent is a cross-partition event in flight between two engines. The
+// (at, src, seq) triple totally orders inbox contents, making the
+// merge into the destination heap deterministic.
+type xevent struct {
+	at  Time
+	src int32
+	seq uint64
+	fn  func()
+}
+
+// inbox buffers events injected into a partition by the others. It is
+// the only synchronized structure in the group; the event hot path
+// (heap push/pop, execution) never takes a lock. The mutex is touched
+// once per cross-partition message and once per window drain — both
+// orders of magnitude rarer than event execution.
+type inbox struct {
+	mu  sync.Mutex
+	buf []xevent
+}
+
+// take removes and returns the buffered events.
+func (ib *inbox) take() []xevent {
+	ib.mu.Lock()
+	evs := ib.buf
+	ib.buf = nil
+	ib.mu.Unlock()
+	return evs
+}
+
+// Group is a set of engines advancing one simulation together. Build
+// with NewGroup, attach one partition's models to each Engine(i), route
+// every cross-partition interaction through Inject, then drive the
+// whole group with RunUntil.
+type Group struct {
+	engs    []*Engine
+	inboxes []inbox
+	// xseq stamps outbound cross-partition events per source partition.
+	// Entry i is only ever touched by the goroutine executing partition
+	// i's window, so no synchronization is needed.
+	xseq      []uint64
+	lookahead Time
+	rounds    uint64
+
+	// limit is the current window bound, written by the coordinator
+	// between rounds and read by workers during them (the work channel
+	// send/receive pair orders the accesses).
+	limit Time
+}
+
+// NewGroup creates n partitions. Partition i's PRNG stream is seeded
+// seed + i·2⁶⁴/φ, so partition 0 reproduces NewEngine(seed) exactly and
+// the streams are mutually decorrelated. The group starts with no
+// lookahead; the topology layer must establish one (TightenLookahead)
+// before a multi-partition run.
+func NewGroup(seed uint64, n int) *Group {
+	if n < 1 {
+		n = 1
+	}
+	g := &Group{
+		engs:    make([]*Engine, n),
+		inboxes: make([]inbox, n),
+		xseq:    make([]uint64, n),
+	}
+	for i := range g.engs {
+		g.engs[i] = NewEngine(seed + uint64(i)*goldenGamma)
+	}
+	return g
+}
+
+// Partitions returns the number of partitions.
+func (g *Group) Partitions() int { return len(g.engs) }
+
+// Engine returns partition i's engine.
+func (g *Group) Engine(i int) *Engine { return g.engs[i] }
+
+// Lookahead returns the current synchronization lookahead.
+func (g *Group) Lookahead() Time { return g.lookahead }
+
+// TightenLookahead lowers the group lookahead to l if it is currently
+// larger (or unset). Every layer that can carry a cross-partition
+// interaction calls this with its guaranteed minimum latency; the group
+// keeps the floor. l must be positive — a zero-latency cross-partition
+// path makes conservative parallel execution impossible.
+func (g *Group) TightenLookahead(l Time) {
+	if l <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	if g.lookahead == 0 || l < g.lookahead {
+		g.lookahead = l
+	}
+}
+
+// Rounds returns the number of synchronization windows executed.
+func (g *Group) Rounds() uint64 { return g.rounds }
+
+// Crossed returns the number of cross-partition events injected. Only
+// meaningful between rounds (it reads the per-source stamps without
+// synchronization).
+func (g *Group) Crossed() uint64 {
+	var n uint64
+	for _, s := range g.xseq {
+		n += s
+	}
+	return n
+}
+
+// ExecutedEvents sums executed-event counts across partitions.
+func (g *Group) ExecutedEvents() uint64 {
+	var n uint64
+	for _, e := range g.engs {
+		n += e.Executed()
+	}
+	return n
+}
+
+// Inject schedules fn at absolute time at on partition dst, from code
+// currently executing on partition src. Same-partition injects are
+// plain At calls. Cross-partition injects must respect the lookahead
+// contract — at ≥ src's now + lookahead — which netsim's latency floor
+// guarantees by construction; violating it means the destination may
+// already have executed past at, so it panics loudly instead of
+// corrupting the timeline.
+func (g *Group) Inject(src, dst int, at Time, fn func()) {
+	if src == dst {
+		g.engs[src].At(at, fn)
+		return
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if now := g.engs[src].now; at < now+g.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition event at %v from partition %d (now %v) violates lookahead %v",
+			at, src, now, g.lookahead))
+	}
+	g.xseq[src]++
+	x := xevent{at: at, src: int32(src), seq: g.xseq[src], fn: fn}
+	ib := &g.inboxes[dst]
+	ib.mu.Lock()
+	ib.buf = append(ib.buf, x)
+	ib.mu.Unlock()
+}
+
+// drain folds the partition's inbox into its heap. It runs on the
+// coordinator between rounds — never concurrently with window
+// execution — so a batch always holds exactly the events injected in
+// prior rounds; draining from inside a window would let batch contents
+// depend on worker timing, and the seq assignment with them. Within a
+// batch, events are sorted by (at, src, seq) so the local seq order —
+// and therefore execution order among simultaneous events — is a pure
+// function of the traffic, not of which source goroutine appended
+// first.
+func (g *Group) drain(i int) {
+	evs := g.inboxes[i].take()
+	if len(evs) == 0 {
+		return
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		x, y := &evs[a], &evs[b]
+		if x.at != y.at {
+			return x.at < y.at
+		}
+		if x.src != y.src {
+			return x.src < y.src
+		}
+		return x.seq < y.seq
+	})
+	e := g.engs[i]
+	for k := range evs {
+		e.At(evs[k].at, evs[k].fn)
+	}
+}
+
+// runWindow executes partition i's share of the current window (the
+// inbox was already drained by the coordinator).
+func (g *Group) runWindow(i int) {
+	g.engs[i].runWindow(g.limit)
+}
+
+// Run drives the group until every partition drains.
+func (g *Group) Run(workers int) { g.RunUntil(MaxTime, workers) }
+
+// RunUntil advances the whole group until no pending event (in any heap
+// or inbox) is at or before deadline, then normalizes every partition's
+// clock to the deadline — the partitioned analogue of Engine.RunUntil.
+// workers bounds the goroutines executing windows; 1 (or a single
+// partition) runs everything on the caller's goroutine with identical
+// results.
+func (g *Group) RunUntil(deadline Time, workers int) {
+	if len(g.engs) == 1 {
+		g.engs[0].RunUntil(deadline)
+		return
+	}
+	if g.lookahead <= 0 {
+		panic("sim: multi-partition run requires a lookahead (no cross-partition latency floor established)")
+	}
+	if workers > len(g.engs) {
+		workers = len(g.engs)
+	}
+	var pool *windowPool
+	if workers > 1 {
+		pool = g.startPool(workers)
+		defer pool.stop()
+	}
+	for {
+		// Fold last round's cross-partition traffic into the heaps, in
+		// partition order, so every batch — and every seq assignment —
+		// is fixed by the round structure alone.
+		for i := range g.engs {
+			g.drain(i)
+		}
+		// Safe horizon: the earliest event anywhere. Nothing executed
+		// this round can create work before T + lookahead, so every
+		// partition may run [.., T+lookahead) without coordination.
+		T := MaxTime
+		for i := range g.engs {
+			if t := g.engs[i].nextTime(); t < T {
+				T = t
+			}
+		}
+		if T > deadline || T == MaxTime {
+			break
+		}
+		limit := T + g.lookahead
+		if limit < T {
+			limit = MaxTime // overflow saturation
+		}
+		if deadline < MaxTime && limit > deadline+1 {
+			// Past the deadline the window bound is irrelevant; capping
+			// keeps post-deadline events pending, like Engine.RunUntil.
+			limit = deadline + 1
+		}
+		g.limit = limit
+		g.rounds++
+		if pool != nil {
+			pool.runRound()
+		} else {
+			for i := range g.engs {
+				g.runWindow(i)
+			}
+		}
+	}
+	// Normalize clocks and flush executed counters; every remaining
+	// event is past the deadline, so this executes nothing new.
+	for _, e := range g.engs {
+		e.RunUntil(deadline)
+	}
+}
+
+// windowPool is a persistent worker pool executing one partition window
+// per work item. Rebuilding goroutines every round would dominate the
+// sub-millisecond windows the protocol produces.
+type windowPool struct {
+	g    *Group
+	work chan int
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	panicv any
+}
+
+func (g *Group) startPool(workers int) *windowPool {
+	p := &windowPool{g: g, work: make(chan int)}
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *windowPool) worker() {
+	for i := range p.work {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.mu.Lock()
+					if p.panicv == nil {
+						p.panicv = r
+					}
+					p.mu.Unlock()
+				}
+			}()
+			p.g.runWindow(i)
+		}()
+		p.wg.Done()
+	}
+}
+
+// runRound executes every partition's window on the pool and waits for
+// the barrier. A panic inside any partition's events is re-raised on
+// the coordinator goroutine, mirroring serial behavior.
+func (p *windowPool) runRound() {
+	p.wg.Add(len(p.g.engs))
+	for i := range p.g.engs {
+		p.work <- i
+	}
+	p.wg.Wait()
+	p.mu.Lock()
+	v := p.panicv
+	p.mu.Unlock()
+	if v != nil {
+		panic(v)
+	}
+}
+
+func (p *windowPool) stop() { close(p.work) }

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pingRecord is one delivered cross-partition message, as observed by
+// the destination partition.
+type pingRecord struct {
+	at   Time
+	src  int
+	dst  int
+	tick uint64
+	draw uint64
+}
+
+// runPingMesh builds a Group of parts partitions, each running a
+// self-ticking process that does local PRNG work and fires
+// cross-partition messages, and returns every partition's delivery log.
+// The workload exercises simultaneous events (many ticks share an
+// instant), fan-in (all partitions target partition 0 more often), and
+// chained injects (deliveries schedule follow-up local work).
+func runPingMesh(seed uint64, parts, workers int, deadline Time) ([][]pingRecord, *Group) {
+	const lookahead = 900 * Nanosecond
+	g := NewGroup(seed, parts)
+	g.TightenLookahead(lookahead)
+	logs := make([][]pingRecord, parts)
+	for i := 0; i < parts; i++ {
+		i := i
+		e := g.Engine(i)
+		var tick func(n uint64)
+		tick = func(n uint64) {
+			draw := e.Rand().Uint64()
+			// Fan out: every third tick pings another partition, biased
+			// toward partition 0 to create a hot destination.
+			if n%3 == 0 {
+				dst := 0
+				if draw%2 == 0 {
+					dst = int(draw/2) % parts
+				}
+				if dst != i {
+					at := e.Now() + lookahead + Time(draw%500)
+					n, d := n, draw
+					g.Inject(i, dst, at, func() {
+						rec := pingRecord{at: g.Engine(dst).Now(), src: i, dst: dst, tick: n, draw: d}
+						logs[dst] = append(logs[dst], rec)
+						// Chained local work on the destination.
+						g.Engine(dst).After(Time(d%97), func() {
+							g.Engine(dst).Rand().Uint64()
+						})
+					})
+				}
+			}
+			if next := e.Now() + Time(100+draw%300); next <= deadline {
+				e.At(next, func() { tick(n + 1) })
+			}
+		}
+		e.Defer(func() { tick(0) })
+	}
+	g.RunUntil(deadline, workers)
+	return logs, g
+}
+
+// TestGroupParallelMatchesSerial is the core determinism property: the
+// same partitioned simulation run with 1 worker and with P workers must
+// produce byte-identical per-partition event histories.
+func TestGroupParallelMatchesSerial(t *testing.T) {
+	for _, parts := range []int{2, 4, 7} {
+		for _, seed := range []uint64{1, 42} {
+			deadline := 200 * Microsecond
+			serial, gs := runPingMesh(seed, parts, 1, deadline)
+			parallel, gp := runPingMesh(seed, parts, parts, deadline)
+			for i := range serial {
+				if len(serial[i]) != len(parallel[i]) {
+					t.Fatalf("parts=%d seed=%d partition %d: %d records serial vs %d parallel",
+						parts, seed, i, len(serial[i]), len(parallel[i]))
+				}
+				for k := range serial[i] {
+					if serial[i][k] != parallel[i][k] {
+						t.Fatalf("parts=%d seed=%d partition %d record %d: %+v vs %+v",
+							parts, seed, i, k, serial[i][k], parallel[i][k])
+					}
+				}
+			}
+			if gs.ExecutedEvents() != gp.ExecutedEvents() {
+				t.Fatalf("executed: %d serial vs %d parallel", gs.ExecutedEvents(), gp.ExecutedEvents())
+			}
+			if gs.Crossed() == 0 {
+				t.Fatalf("workload degenerate: no cross-partition traffic")
+			}
+			if gs.Rounds() == 0 || gp.Rounds() == 0 {
+				t.Fatalf("no synchronization rounds ran")
+			}
+		}
+	}
+}
+
+// TestGroupClockNormalization: after RunUntil every partition sits at
+// the deadline and post-deadline events stay pending.
+func TestGroupClockNormalization(t *testing.T) {
+	g := NewGroup(7, 3)
+	g.TightenLookahead(Microsecond)
+	fired := false
+	g.Engine(1).At(5*Microsecond, func() {})
+	g.Engine(2).At(20*Microsecond, func() { fired = true })
+	g.RunUntil(10*Microsecond, 3)
+	for i := 0; i < 3; i++ {
+		if now := g.Engine(i).Now(); now != 10*Microsecond {
+			t.Fatalf("partition %d clock %v, want 10µs", i, now)
+		}
+	}
+	if fired {
+		t.Fatalf("event past the deadline fired")
+	}
+	if g.Engine(2).Pending() != 1 {
+		t.Fatalf("pending = %d, want the post-deadline event", g.Engine(2).Pending())
+	}
+}
+
+// TestGroupSinglePartitionDelegates: a 1-partition group behaves
+// exactly like a bare engine with the same seed.
+func TestGroupSinglePartitionDelegates(t *testing.T) {
+	run := func(e *Engine) (uint64, Time) {
+		var sum uint64
+		for i := 0; i < 50; i++ {
+			e.At(Time(i*10), func() { sum += e.Rand().Uint64() })
+		}
+		e.RunUntil(Microsecond)
+		return sum, e.Now()
+	}
+	g := NewGroup(99, 1)
+	gotSum, gotNow := run(g.Engine(0))
+	wantSum, wantNow := run(NewEngine(99))
+	if gotSum != wantSum || gotNow != wantNow {
+		t.Fatalf("1-partition group diverged from bare engine: (%d,%v) vs (%d,%v)",
+			gotSum, gotNow, wantSum, wantNow)
+	}
+}
+
+// TestInjectLookaheadViolationPanics: scheduling a cross-partition
+// event inside the lookahead horizon is a model bug and must not be
+// silently reordered.
+func TestInjectLookaheadViolationPanics(t *testing.T) {
+	g := NewGroup(1, 2)
+	g.TightenLookahead(Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("lookahead violation did not panic")
+		}
+	}()
+	g.Inject(0, 1, 500*Nanosecond, func() {})
+}
+
+// TestGroupRequiresLookahead: a multi-partition run without an
+// established latency floor cannot be conservative.
+func TestGroupRequiresLookahead(t *testing.T) {
+	g := NewGroup(1, 2)
+	g.Engine(0).At(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("run without lookahead did not panic")
+		}
+	}()
+	g.RunUntil(Microsecond, 2)
+}
+
+// TestGroupPanicPropagates: a panic inside a partition's event surfaces
+// on the coordinating goroutine, like in a serial run.
+func TestGroupPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		g := NewGroup(1, 2)
+		g.TightenLookahead(Microsecond)
+		g.Engine(1).At(10, func() { panic("boom") })
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: partition panic lost", workers)
+				} else if fmt.Sprint(r) != "boom" {
+					t.Fatalf("workers=%d: panic value %v", workers, r)
+				}
+			}()
+			g.RunUntil(Microsecond, workers)
+		}()
+	}
+}
+
+// TestTotalExecutedFlushesAtWindows is the progress-meter fix: an event
+// in a late window must observe the executed counts of earlier windows
+// in TotalExecuted, not just at the end of the run.
+func TestTotalExecutedFlushesAtWindows(t *testing.T) {
+	g := NewGroup(3, 2)
+	g.TightenLookahead(Microsecond)
+	base := TotalExecuted()
+	e0 := g.Engine(0)
+	// First window: a burst of 200 events inside one lookahead span.
+	for i := 0; i < 200; i++ {
+		e0.At(Time(i), func() {})
+	}
+	// A much later window observes the meter.
+	var seen uint64
+	g.Engine(1).At(Millisecond, func() { seen = TotalExecuted() - base })
+	g.RunUntil(2*Millisecond, 1)
+	if seen < 200 {
+		t.Fatalf("mid-run TotalExecuted advance = %d, want ≥ 200 (per-window flush missing)", seen)
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// refEvent mirrors one scheduled event in the reference model.
+type refEvent struct {
+	at      Time
+	seq     uint64
+	id      int
+	stopped bool
+	fired   bool
+}
+
+// refModel is the reference scheduler the 4-ary heap is checked
+// against: a flat slice with O(n) pop-min over (at, seq). It is
+// obviously correct and shares no code with eventQueue.
+type refModel struct {
+	events []*refEvent
+	now    Time
+}
+
+func (m *refModel) popMin() *refEvent {
+	var best *refEvent
+	for _, r := range m.events {
+		if r.stopped || r.fired {
+			continue
+		}
+		if best == nil || r.at < best.at || (r.at == best.at && r.seq < best.seq) {
+			best = r
+		}
+	}
+	if best != nil {
+		best.fired = true
+		m.now = best.at
+	}
+	return best
+}
+
+// TestEventQueuePropertyVsReference drives the engine through
+// randomized push/pop/Stop interleavings — including stop storms dense
+// enough to cross the dead-event compaction threshold — and checks
+// every execution against the reference model, for 8 seeds.
+func TestEventQueuePropertyVsReference(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := NewRand(seed * 0x9e3779b97f4a7c15)
+		e := NewEngine(seed)
+		m := &refModel{}
+		var got []int
+		nextID := 0
+		var refSeq uint64
+
+		type handle struct {
+			tm Timer
+			r  *refEvent
+		}
+		var handles []handle
+
+		schedule := func(horizon int) {
+			at := e.Now() + Time(rng.Intn(horizon))
+			id := nextID
+			nextID++
+			r := &refEvent{at: at, seq: refSeq, id: id}
+			refSeq++
+			tm := e.At(at, func() { got = append(got, id) })
+			m.events = append(m.events, r)
+			handles = append(handles, handle{tm, r})
+		}
+		stopRandom := func() {
+			if len(handles) == 0 {
+				return
+			}
+			h := handles[rng.Intn(len(handles))]
+			gotStop := h.tm.Stop()
+			wantStop := !h.r.stopped && !h.r.fired
+			if gotStop != wantStop {
+				t.Fatalf("seed %d: Stop() = %v, reference pending = %v (event %d)",
+					seed, gotStop, wantStop, h.r.id)
+			}
+			h.r.stopped = true
+		}
+		step := func() {
+			want := m.popMin()
+			before := len(got)
+			ran := e.Step()
+			if ran != (want != nil) {
+				t.Fatalf("seed %d: Step() = %v but reference had pending = %v", seed, ran, want != nil)
+			}
+			if want == nil {
+				return
+			}
+			if len(got) != before+1 || got[len(got)-1] != want.id {
+				t.Fatalf("seed %d: executed %v, reference wanted event %d", seed, got[before:], want.id)
+			}
+			if e.Now() != want.at {
+				t.Fatalf("seed %d: clock %v after event %d, reference %v", seed, e.Now(), want.id, want.at)
+			}
+		}
+
+		// Phase 1: mixed traffic.
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(100); {
+			case r < 45:
+				schedule(1000)
+			case r < 75:
+				step()
+			default:
+				stopRandom()
+			}
+		}
+		// Phase 2: stop storm — push the dead count past the compaction
+		// threshold (dead > 64 and dead > half the heap) repeatedly.
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 90; i++ {
+				schedule(500)
+			}
+			for i := 0; i < 160; i++ {
+				stopRandom()
+			}
+			for i := 0; i < 20; i++ {
+				step()
+			}
+		}
+		// Phase 3: drain both to empty and compare the full tail.
+		for e.Step() {
+			want := m.popMin()
+			if want == nil || got[len(got)-1] != want.id {
+				t.Fatalf("seed %d: drain diverged at %v", seed, got[len(got)-1])
+			}
+		}
+		if left := m.popMin(); left != nil {
+			t.Fatalf("seed %d: engine drained but reference still has event %d", seed, left.id)
+		}
+		if e.dead != 0 && e.dead > len(e.q) {
+			t.Fatalf("seed %d: dead accounting corrupt: dead=%d len(q)=%d", seed, e.dead, len(e.q))
+		}
+	}
+}

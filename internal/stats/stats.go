@@ -165,6 +165,27 @@ func (s *Sample) Observe(x float64) {
 // Count returns the number of values observed (not necessarily retained).
 func (s *Sample) Count() uint64 { return s.seen }
 
+// Merge folds another sample's retained values into s. It is intended
+// for unbounded samples (per-partition latency series aggregated in a
+// fixed order after a parallel run); merging reservoirs would need
+// weighted resampling, so a capped receiver panics instead of silently
+// biasing.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil {
+		return
+	}
+	if len(o.values) == 0 {
+		s.seen += o.seen
+		return
+	}
+	if s.Cap > 0 {
+		panic("stats: Merge into a capped reservoir sample")
+	}
+	s.values = append(s.values, o.values...)
+	s.seen += o.seen
+	s.sorted = false
+}
+
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank
 // on the retained values; 0 when empty. An empty sample's 0 is
 // indistinguishable from a true 0 measurement — reporters that can see

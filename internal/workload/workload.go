@@ -34,10 +34,27 @@ type Client struct {
 
 // NewClient attaches a client node with the given link speed.
 func NewClient(c *core.Cluster, name string, gbps float64) *Client {
-	cl := &Client{Name: name, eng: c.Eng, net: c.Net, Lat: stats.NewSample()}
-	c.Net.Attach(name, gbps, netsim.HandlerFunc(cl.deliver))
+	return NewClientAt(c, name, gbps, 0)
+}
+
+// NewClientAt is NewClient pinning the client's port to an engine
+// partition of a partitioned cluster — typically the partition of the
+// server node it drives, so request generation runs concurrently with
+// the rest of the topology. Partition 0 on a classic cluster is
+// exactly NewClient.
+func NewClientAt(c *core.Cluster, name string, gbps float64, part int) *Client {
+	eng := c.Eng
+	if c.Group != nil {
+		eng = c.Group.Engine(part)
+	}
+	cl := &Client{Name: name, eng: eng, net: c.Net, Lat: stats.NewSample()}
+	c.Net.AttachOn(name, gbps, netsim.HandlerFunc(cl.deliver), part)
 	return cl
 }
+
+// Eng returns the engine the client's events run on (the partition
+// engine for clients attached with NewClientAt).
+func (cl *Client) Eng() *sim.Engine { return cl.eng }
 
 func (cl *Client) deliver(pkt *netsim.Packet) {
 	if env, ok := pkt.Payload.(core.RespEnvelope); ok {
