@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench
+.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,17 @@ vet:
 # race: the concurrency gate for the engine hot path, the parallel
 # sweep runner (includes the serial-vs-parallel parity test), the
 # fault-injection / recovery suites, the scale-out router/batching
-# code exercised from parallel sweeps, and the PDES partition sync
-# path (sim.Group windows, netsim cross-partition handoff, the mesh
-# scale topology).
+# code exercised from parallel sweeps, the PDES partition sync path
+# (sim.Group windows, netsim cross-partition handoff, the mesh scale
+# topology), and the sharded tracer/collector emitting from parallel
+# partition windows.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
 		./internal/shard/... ./internal/workload/... ./internal/msgring/... \
 		./internal/stats/... ./internal/invariant/... ./internal/sched/... \
-		./internal/netsim/... ./internal/mesh/...
+		./internal/netsim/... ./internal/mesh/... ./internal/obs/... \
+		./internal/pcie/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -79,9 +81,38 @@ pdes-bench:
 		-pdes-nodes 64,128,256 -pdes-workers 2,4,8
 	@echo "pdes-bench: wrote BENCH_pdes.json"
 
+# obs-smoke: trace a partitioned mesh run with window-parallel
+# execution and validate the merged artifacts — including the
+# cross-partition handoff span pairing.
+obs-smoke:
+	$(GO) run ./cmd/ipipe-sim -app mesh -nodes 8 -partitions 4 -pdes 4 \
+		-duration 300us -trace /tmp/ipipe-obs-smoke.json \
+		-metrics /tmp/ipipe-obs-smoke.ndjson >/dev/null
+	$(GO) run ./cmd/ipipe-trace check /tmp/ipipe-obs-smoke.json
+	$(GO) run ./cmd/ipipe-trace check-metrics /tmp/ipipe-obs-smoke.ndjson
+	@grep -q '"handoff out"' /tmp/ipipe-obs-smoke.json || \
+		{ echo "obs-smoke: no handoff spans in partitioned trace" >&2; exit 1; }
+	@echo "obs-smoke: ok"
+
+# obs-gate: the perf-trajectory gate — rebuild the observed-run summary
+# and compare it against the committed BENCH_obs.json baseline.
+# Deterministic fields (ops, quantiles, events, counters, watermarks,
+# handoffs) must match exactly; allocation cost may not grow past its
+# band. Regenerate the baseline intentionally with `make obs-baseline`.
+obs-gate:
+	$(GO) run ./cmd/ipipe-bench -quick -report /tmp/ipipe-obs-report.json \
+		-baseline BENCH_obs.json
+	@echo "obs-gate: ok"
+
+# obs-baseline: regenerate the committed observed-run baseline after an
+# intentional behavior change (review the diff before committing).
+obs-baseline:
+	$(GO) run ./cmd/ipipe-bench -quick -report BENCH_obs.json
+	@echo "obs-baseline: wrote BENCH_obs.json"
+
 # check: the CI step — static analysis, the race suite, and the
 # observability and invariant smoke tests.
-check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke
+check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke obs-smoke obs-gate
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

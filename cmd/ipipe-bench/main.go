@@ -24,6 +24,16 @@
 // byte-compared. -pdes-bench FILE writes the wall-clock speedup matrix
 // (per size × worker count, with fingerprint certification and the
 // machine's core count) as a JSON artifact.
+//
+// -report FILE re-runs a small experiment set (default: fig17 and
+// scale-nodes; override with explicit ids) with tracing and metrics
+// attached and writes the versioned run-summary artifact: merged
+// sojourn histograms, gauge watermarks, scheduler timelines, counter
+// totals, PDES handoff/round counts, and allocation cost. -baseline
+// FILE compares the same summary against a stored artifact
+// (BENCH_obs.json) and exits nonzero on any regression: deterministic
+// fields must match exactly, allocation cost may not grow past its
+// band. The two flags combine (write and gate in one run).
 package main
 
 import (
@@ -61,6 +71,8 @@ func main() {
 	pdesBench := flag.String("pdes-bench", "", "write the PDES speedup matrix (JSON) to `file` and exit ('-' for stdout)")
 	pdesNodes := flag.String("pdes-nodes", "", "comma-separated mesh sizes for -pdes-bench (default: the scale-nodes sweep sizes)")
 	pdesWorkers := flag.String("pdes-workers", "2,4,8", "comma-separated window worker counts for -pdes-bench")
+	reportFile := flag.String("report", "", "write the observed-run summary artifact (JSON) to `file` ('-' for stdout)")
+	baselineFile := flag.String("baseline", "", "compare the observed-run summary against the artifact in `file`; exit nonzero on regression")
 	flag.Parse()
 
 	if *pdesBench != "" {
@@ -86,6 +98,45 @@ func main() {
 			if !e.FingerprintOK {
 				fatal(fmt.Errorf("pdes-bench: nodes=%d workers=%d diverged from the serial merge", e.Nodes, e.Workers))
 			}
+		}
+		return
+	}
+
+	if *reportFile != "" || *baselineFile != "" {
+		opts := bench.Options{Quick: *quick, Seed: *seed,
+			PDESParts: *pdes, PDESWorkers: *parallel}
+		rep, err := bench.ObsReport(opts, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if *reportFile != "" {
+			if err := writeTo(*reportFile, rep.WriteReport); err != nil {
+				fatal(err)
+			}
+			if *reportFile != "-" {
+				fmt.Fprintf(os.Stderr, "report: %d experiments -> %s\n",
+					len(rep.Experiments), *reportFile)
+			}
+		}
+		if *baselineFile != "" {
+			f, err := os.Open(*baselineFile)
+			if err != nil {
+				fatal(err)
+			}
+			base, err := obs.ReadReport(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if bad := obs.CompareReports(base, rep, obs.GateOptions{}); len(bad) > 0 {
+				for _, line := range bad {
+					fmt.Fprintln(os.Stderr, "obs-gate: REGRESSION:", line)
+				}
+				fmt.Fprintf(os.Stderr, "obs-gate: FAIL (%d regressions vs %s)\n", len(bad), *baselineFile)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "obs-gate: OK (%d experiments vs %s)\n",
+				len(base.Experiments), *baselineFile)
 		}
 		return
 	}
@@ -141,6 +192,10 @@ func main() {
 	// (each is bound to its engine) concatenated into one NDJSON stream.
 	// Sweep points must then run serially: parallel workers would race on
 	// the shared tracer and scramble registration order.
+	// Sweep parallelism must drop to 1, but PDES window workers stay:
+	// sinks are sharded per partition, so window-parallel execution
+	// cannot perturb the artifacts.
+	pdesW := *parallel
 	var tracer *obs.Tracer
 	var collectors []*obs.Collector
 	if *traceFile != "" || *metricsFile != "" {
@@ -169,7 +224,7 @@ func main() {
 	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, Parallel: *parallel,
-		PDESParts: *pdes, PDESWorkers: *parallel}
+		PDESParts: *pdes, PDESWorkers: pdesW}
 	for _, id := range ids {
 		r, err := bench.Run(id, opts)
 		if err != nil {

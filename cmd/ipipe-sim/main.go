@@ -14,8 +14,10 @@
 // The mesh app is the scale-out topology for the parallel (PDES)
 // engine: -nodes echo-RPC servers sharded across -partitions engine
 // partitions, windows executed by -pdes worker goroutines. Results are
-// deterministic for a fixed seed regardless of -pdes; tracing and
-// metrics are unavailable on partitioned runs.
+// deterministic for a fixed seed regardless of -pdes, and so are the
+// -trace/-metrics artifacts: each partition traces into its own shard
+// and the export merges shards deterministically, so the emitted bytes
+// are identical at any -pdes worker count.
 package main
 
 import (
@@ -28,7 +30,10 @@ import (
 
 	ipipe "repro"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/workload"
 )
@@ -71,9 +76,27 @@ func main() {
 	flag.Parse()
 
 	if *app == "mesh" {
+		// The mesh builds its cluster internally; observability attaches
+		// through the default-observer hook. Partitioned tracing shards
+		// per partition and metrics sample at window boundaries, so the
+		// artifacts are byte-identical at any -pdes worker count.
+		var meshTracer *obs.Tracer
+		var meshCol *obs.Collector
 		if *traceFile != "" || *metricsFile != "" {
-			fmt.Fprintln(os.Stderr, "ipipe-sim: -trace/-metrics are not available on partitioned (mesh) runs")
-			os.Exit(1)
+			if *traceFile != "" {
+				meshTracer = obs.NewTracer()
+			}
+			core.SetDefaultObserver(func(c *core.Cluster) {
+				if meshTracer != nil {
+					c.EnableTracing(meshTracer)
+				}
+				if *metricsFile != "" {
+					meshCol = obs.NewCollector(c.Eng, sim.Time(metricsInterval.Nanoseconds()))
+					c.EnableMetrics(meshCol)
+					meshCol.Start()
+				}
+			})
+			defer core.SetDefaultObserver(nil)
 		}
 		runMesh(mesh.Config{
 			Nodes:      *meshNodes,
@@ -85,6 +108,22 @@ func main() {
 			Window:     ipipe.Duration(dur.Nanoseconds()),
 			Check:      *check,
 		})
+		if meshTracer != nil {
+			if err := writeTo(*traceFile, meshTracer.WriteChromeTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "ipipe-sim: trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d spans on %d tracks -> %s\n",
+				meshTracer.Spans(), meshTracer.Tracks(), *traceFile)
+		}
+		if meshCol != nil {
+			meshCol.Snapshot() // end-state record
+			if err := writeTo(*metricsFile, meshCol.WriteNDJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "ipipe-sim: metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics: %d snapshots -> %s\n", meshCol.Snapshots(), *metricsFile)
+		}
 		return
 	}
 	if *partitions > 1 {

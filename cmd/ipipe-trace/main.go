@@ -7,8 +7,10 @@
 // For traces it checks the file is well-formed trace_event JSON, every
 // event carries a known phase, every lane is named, and timestamps are
 // monotonic per (process, lane) — the invariants chrome://tracing and
-// Perfetto rely on. Exit status 0 means valid; a summary is printed
-// either way.
+// Perfetto rely on. For merged partitioned traces it additionally
+// checks every cross-partition handoff stamp (xc, xsrc, xseq) pairs an
+// "out" half with exactly one "in" half at the matching arrival time.
+// Exit status 0 means valid; a summary is printed either way.
 package main
 
 import (
@@ -34,8 +36,13 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
-		fmt.Printf("%s: valid trace: %d events (%d spans, %d instants) across %d processes / %d tracks\n",
+		fmt.Printf("%s: valid trace: %d events (%d spans, %d instants) across %d processes / %d tracks",
 			path, st.Events, st.Spans, st.Instants, st.Processes, st.Tracks)
+		if st.Handoffs > 0 || st.HandoffsInFlight > 0 {
+			fmt.Printf("; %d cross-partition handoff pairs (%d in flight at window end)",
+				st.Handoffs, st.HandoffsInFlight)
+		}
+		fmt.Println()
 	case "check-metrics":
 		st, err := obs.ValidateMetricsNDJSON(f)
 		if err != nil {

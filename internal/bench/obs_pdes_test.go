@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The partitioned-observability contract, on the mesh the PDES engine
+// was built for:
+//
+//  1. Non-perturbation: a run with tracing and metrics attached has the
+//     same invariant fingerprint (and deterministic stats) as a bare
+//     run — sharded sinks emit no events and the collector samples only
+//     at window boundaries.
+//  2. Worker independence: the exported trace and metrics artifacts are
+//     byte-identical at 1, 2 and 4 window workers.
+
+var obsMeshCfg = mesh.Config{
+	Nodes: 8, Partitions: 4, Seed: 7,
+	Window: 200 * sim.Microsecond, Check: true,
+}
+
+// observedMesh runs the mesh with observability attached and returns
+// its stats plus the rendered artifacts.
+func observedMesh(t *testing.T, workers int) (mesh.Stats, []byte, []byte) {
+	t.Helper()
+	tracer := obs.NewTracer()
+	var col *obs.Collector
+	core.SetDefaultObserver(func(c *core.Cluster) {
+		c.EnableTracing(tracer)
+		col = obs.NewCollector(c.Eng, 50*sim.Microsecond)
+		c.EnableMetrics(col)
+		col.Start()
+	})
+	defer core.SetDefaultObserver(nil)
+	cfg := obsMeshCfg
+	cfg.Workers = workers
+	s := mesh.Run(cfg)
+	var trace, metrics bytes.Buffer
+	if err := tracer.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	col.Snapshot()
+	if err := col.WriteNDJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return s, trace.Bytes(), metrics.Bytes()
+}
+
+func TestPDESObservabilityNonPerturbing(t *testing.T) {
+	bare := mesh.Run(obsMeshCfg)
+	if bare.Fingerprint == "" {
+		t.Fatal("bare run produced no fingerprint")
+	}
+
+	var firstTrace, firstMetrics []byte
+	for _, w := range []int{1, 2, 4} {
+		s, trace, metrics := observedMesh(t, w)
+		if s.Violations != 0 {
+			t.Fatalf("workers=%d: %d invariant violations with observability on", w, s.Violations)
+		}
+		if s.Fingerprint != bare.Fingerprint {
+			t.Fatalf("workers=%d: observability perturbed the invariant fingerprint", w)
+		}
+		if s.Ops != bare.Ops || s.P50us != bare.P50us || s.P99us != bare.P99us ||
+			s.Events != bare.Events || s.Crossed != bare.Crossed || s.Rounds != bare.Rounds {
+			t.Fatalf("workers=%d: observability perturbed results:\nbare:     %+v\nobserved: %+v", w, bare, s)
+		}
+		if firstTrace == nil {
+			firstTrace, firstMetrics = trace, metrics
+			st, err := obs.ValidateChromeTrace(bytes.NewReader(trace))
+			if err != nil {
+				t.Fatalf("invalid partitioned trace: %v", err)
+			}
+			if st.Spans == 0 || st.Handoffs == 0 {
+				t.Fatalf("partitioned trace missing content: %d spans, %d handoff pairs", st.Spans, st.Handoffs)
+			}
+			if mt, err := obs.ValidateMetricsNDJSON(bytes.NewReader(metrics)); err != nil {
+				t.Fatalf("invalid partitioned metrics: %v", err)
+			} else if mt.Records == 0 {
+				t.Fatal("partitioned run produced no metric records")
+			}
+			continue
+		}
+		if !bytes.Equal(trace, firstTrace) {
+			t.Fatalf("workers=%d: trace bytes differ from workers=1", w)
+		}
+		if !bytes.Equal(metrics, firstMetrics) {
+			t.Fatalf("workers=%d: metrics bytes differ from workers=1", w)
+		}
+	}
+}
+
+// TestObsReportDeterministic pins the report artifact itself: two
+// builds of the same experiment set must produce byte-identical
+// deterministic fields (the gate run in CI relies on this).
+func TestObsReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := Options{Quick: true, Seed: 1}
+	a, err := ObsReport(opts, []string{"scale-nodes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ObsReport(opts, []string{"scale-nodes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := obs.CompareReports(a, b, obs.GateOptions{}); len(bad) != 0 {
+		t.Fatalf("back-to-back reports fail the gate: %v", bad)
+	}
+	es := a.Experiments[0]
+	if es.Ops == 0 || es.SojournUs.Count == 0 || es.Handoffs == 0 || es.Rounds == 0 {
+		t.Fatalf("report missing expected content: %+v", es)
+	}
+}

@@ -108,9 +108,13 @@ func NewCluster(seed uint64) *Cluster {
 // Partitioned nodes must set Config.DisableMigration: placement changes
 // rewrite the shared actor table, which partitions read concurrently.
 // The per-invocation watchdog is disabled for the same reason (its
-// kill path rewrites the table). Fault injection, tracing, and metrics
-// are likewise unsupported — the classic single-engine path remains the
-// tool for those studies.
+// kill path rewrites the table). Fault injection is likewise
+// unsupported — the classic single-engine path remains the tool for
+// fault studies. Tracing and metrics ARE supported: each partition
+// emits spans into its own obs.Sink and the collector samples at
+// conservative-window boundaries, so artifacts are byte-identical at
+// any worker count and observation never perturbs results (see
+// EnableTracingPrefixed / EnableMetricsPrefixed).
 func NewPartitionedCluster(seed uint64, parts int) *Cluster {
 	if parts < 1 {
 		parts = 1

@@ -26,8 +26,11 @@ import (
 //	link tx/rx      the node's two link directions (netsim)
 
 // nodeObs holds a node's trace tracks; nil when tracing is disabled.
+// All emission goes through the node's partition sink (sink 0 on
+// classic clusters), so nodes on different PDES partitions never share
+// a span buffer.
 type nodeObs struct {
-	tr         *obs.Tracer
+	sink       *obs.Sink
 	group      obs.GroupID
 	nicTracks  []obs.TrackID
 	hostTracks []obs.TrackID
@@ -54,12 +57,13 @@ func (c *Cluster) EnableTracing(tr *obs.Tracer) { c.EnableTracingPrefixed(tr, ""
 // every group name. The experiment harness uses it to share one tracer
 // across the many clusters of a sweep ("r03/srv") without colliding
 // node names.
+// On a partitioned (PDES) cluster every node emits through its
+// partition's obs.Sink — private buffers, merged deterministically at
+// export — so tracing stays valid, race-free, and byte-identical at any
+// worker count.
 func (c *Cluster) EnableTracingPrefixed(tr *obs.Tracer, prefix string) {
 	if !tr.Enabled() || c.tracer != nil {
 		return
-	}
-	if c.Partitions() > 1 {
-		panic("core: tracing is not supported on partitioned (PDES) clusters")
 	}
 	c.tracer = tr
 	c.obsPrefix = prefix
@@ -77,15 +81,18 @@ func (c *Cluster) EnableMetrics(col *obs.Collector) { c.EnableMetricsPrefixed(co
 // EnableMetricsPrefixed is EnableMetrics with a prefix prepended to
 // every registry name (see EnableTracingPrefixed). When both tracing and
 // metrics are prefixed they must use the same prefix.
+// On a partitioned (PDES) cluster the collector is switched to window
+// mode (obs.Collector.AttachGroup): the round coordinator samples at
+// conservative-window boundaries instead of scheduling engine events,
+// so metrics cannot perturb the window structure or the deterministic
+// cross-partition merge.
 func (c *Cluster) EnableMetricsPrefixed(col *obs.Collector, prefix string) {
 	if col == nil || c.collector != nil {
 		return
 	}
-	if c.Partitions() > 1 {
-		panic("core: metrics collection is not supported on partitioned (PDES) clusters")
-	}
 	c.collector = col
 	c.obsPrefix = prefix
+	col.AttachGroup(c.Group)
 	for _, name := range c.nodeNames() {
 		c.nodes[name].enableMetrics(col)
 	}
@@ -110,15 +117,16 @@ func (c *Cluster) nodeNames() []string {
 
 func (n *Node) enableTracing(tr *obs.Tracer) {
 	g := tr.Group(n.c.obsPrefix + n.Name)
-	o := &nodeObs{tr: tr, group: g, schedTrack: obs.NoTrack}
+	sink := tr.Sink(n.Part)
+	o := &nodeObs{sink: sink, group: g, schedTrack: obs.NoTrack}
 	if n.Sched != nil {
 		for i := 0; i < n.Sched.NumCores(); i++ {
 			o.nicTracks = append(o.nicTracks, tr.NewTrack(g, fmt.Sprintf("nic core %d", i)))
 		}
 		o.schedTrack = tr.NewTrack(g, "sched")
-		n.Gate.EnableTracing(tr, g)
-		n.Accels.EnableTracing(tr, g)
-		n.DMA.EnableTracing(tr, g)
+		n.Gate.EnableTracing(sink, g)
+		n.Accels.EnableTracing(sink, g)
+		n.DMA.EnableTracing(sink, g)
 	}
 	for i := 0; i < n.cfg.HostCores; i++ {
 		o.hostTracks = append(o.hostTracks, tr.NewTrack(g, fmt.Sprintf("host core %d", i)))
@@ -178,7 +186,7 @@ func (n *Node) obsSchedExec(coreID int, mode sched.Mode, a *actor.Actor, m actor
 	if mode == sched.DRR {
 		name += " [drr]"
 	}
-	o.tr.Span(o.nicTracks[coreID], name, start, end, execArgs(a, m, wait))
+	o.sink.Span(o.nicTracks[coreID], name, start, end, execArgs(a, m, wait))
 }
 
 // execArgs assembles span annotations for one executed message,
@@ -204,7 +212,7 @@ func (n *Node) obsHostExec(coreID int, a *actor.Actor, m actor.Msg, start, end s
 	if wait < 0 {
 		wait = 0
 	}
-	o.tr.Span(o.hostTracks[coreID], actorLabel(a), start, end, execArgs(a, m, wait))
+	o.sink.Span(o.hostTracks[coreID], actorLabel(a), start, end, execArgs(a, m, wait))
 }
 
 // obsModeSwitch marks an actor's FCFS↔DRR transition on the sched lane.
@@ -217,7 +225,7 @@ func (n *Node) obsModeSwitch(a *actor.Actor, to sched.Mode) {
 	if to == sched.FCFS {
 		verb = "upgrade "
 	}
-	o.tr.Instant(o.schedTrack, verb+actorLabel(a), n.eng.Now())
+	o.sink.Instant(o.schedTrack, verb+actorLabel(a), n.eng.Now())
 }
 
 // obsMigrate marks a migration decision on the sched lane.
@@ -227,10 +235,10 @@ func (n *Node) obsMigrate(a *actor.Actor, push bool) {
 		return
 	}
 	if push {
-		o.tr.Instant(o.schedTrack, "push "+actorLabel(a), n.eng.Now())
+		o.sink.Instant(o.schedTrack, "push "+actorLabel(a), n.eng.Now())
 		return
 	}
-	o.tr.Instant(o.schedTrack, "pull from host", n.eng.Now())
+	o.sink.Instant(o.schedTrack, "pull from host", n.eng.Now())
 }
 
 // obsAutoscale marks a core changing scheduling group.
@@ -239,5 +247,5 @@ func (n *Node) obsAutoscale(coreID int, from, to sched.Mode) {
 	if o == nil {
 		return
 	}
-	o.tr.Instant(o.schedTrack, fmt.Sprintf("core %d %s→%s", coreID, from, to), n.eng.Now())
+	o.sink.Instant(o.schedTrack, fmt.Sprintf("core %d %s→%s", coreID, from, to), n.eng.Now())
 }

@@ -11,6 +11,13 @@
 // on one engine partition; only the switch hop crosses partitions.
 // Results are deterministic for a fixed (seed, nodes, partitions)
 // triple regardless of worker count.
+//
+// Observability: attach a tracer/collector through
+// core.SetDefaultObserver before calling Run — the partitioned cluster
+// shards the tracer per partition and samples metrics at window
+// boundaries, so enabling observability changes neither the results nor
+// their worker-count independence (the exported artifacts are
+// themselves byte-identical at any worker count).
 package mesh
 
 import (

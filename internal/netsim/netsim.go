@@ -90,6 +90,10 @@ type Network struct {
 
 	tracer  *obs.Tracer
 	groupOf func(node string) obs.GroupID
+	// domain is the tracing domain stamped into cross-partition handoff
+	// spans (obs.Tracer.NewDomain); -1 until tracing is enabled on a
+	// partitioned network.
+	domain int32
 	// chks holds one conservation checker per partition (index 0 on
 	// classic networks). Sparse: entries may be nil.
 	chks []*invariant.Checker
@@ -114,9 +118,14 @@ type port struct {
 
 	// Trace tracks for the two link directions (obs.NoTrack when tracing
 	// is off — the zero TrackID is a real track, so these must be
-	// initialized explicitly).
+	// initialized explicitly). sink is the partition-private emit buffer
+	// all of this port's spans go through (nil when tracing is off);
+	// xTrack is the cross-partition handoff lane, registered only on
+	// partitioned networks.
 	txTrack obs.TrackID
 	rxTrack obs.TrackID
+	xTrack  obs.TrackID
+	sink    *obs.Sink
 }
 
 // DefaultSwitchLatency is a typical ToR port-to-port latency.
@@ -210,6 +219,7 @@ func (n *Network) AttachOn(name string, gbps float64, h Handler, part int) {
 		handler: h,
 		txTrack: obs.NoTrack,
 		rxTrack: obs.NoTrack,
+		xTrack:  obs.NoTrack,
 	}
 	n.nodes[name] = p
 	if n.group != nil {
@@ -265,17 +275,21 @@ func (n *Network) PartitionDrops() uint64 {
 // sorted name order so track numbering — and hence the trace bytes —
 // does not depend on map iteration order; later Attach calls register in
 // program order, which is equally deterministic.
+//
+// On a partitioned network each port emits through its partition's
+// obs.Sink (no shared span buffer across partitions) and gets an extra
+// "xpart" lane carrying cross-partition handoff spans stamped with the
+// (domain, src partition, Inject seq) merge identity.
 func (n *Network) EnableTracing(tr *obs.Tracer, group func(node string) obs.GroupID) {
 	if !tr.Enabled() {
 		return
 	}
-	if n.group != nil {
-		// The tracer buffers spans from all tracks in one arena; ports
-		// on different partitions would race on it.
-		panic("netsim: tracing is not supported on partitioned networks")
-	}
 	n.tracer = tr
 	n.groupOf = group
+	n.domain = -1
+	if n.group != nil {
+		n.domain = tr.NewDomain()
+	}
 	names := make([]string, 0, len(n.nodes))
 	for name := range n.nodes {
 		names = append(names, name)
@@ -288,8 +302,12 @@ func (n *Network) EnableTracing(tr *obs.Tracer, group func(node string) obs.Grou
 
 func (n *Network) tracePort(p *port) {
 	g := n.groupOf(p.name)
+	p.sink = n.tracer.Sink(p.part)
 	p.txTrack = n.tracer.NewTrack(g, "link tx")
 	p.rxTrack = n.tracer.NewTrack(g, "link rx")
+	if n.group != nil {
+		p.xTrack = n.tracer.NewTrack(g, "xpart")
+	}
 }
 
 // SetHandler replaces the receive handler for a node (used when a
@@ -416,7 +434,7 @@ func (n *Network) Send(pkt *Packet) {
 	src.up.station.Submit(&sim.Job{
 		Service: wire,
 		Done: func(enq, started, fin sim.Time) {
-			n.tracer.Span(src.txTrack, "frame", started, fin,
+			src.sink.Span(src.txTrack, "frame", started, fin,
 				obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 			// Propagation to switch, then queue on the downlink after
 			// the switch fabric delay.
@@ -426,9 +444,23 @@ func (n *Network) Send(pkt *Packet) {
 				return
 			}
 			n.chkAt(src.part).NetHandoffOut()
-			n.group.Inject(src.part, dst.part, src.eng.Now()+hop, func() {
+			now := src.eng.Now()
+			arriveAt := now + hop
+			// seq is assigned by Inject below, before this window ends;
+			// the "handoff in" closure reads it in a later window on the
+			// destination partition (the round barrier orders the two).
+			var seq uint64
+			seq = n.group.Inject(src.part, dst.part, arriveAt, func() {
 				n.chkAt(dst.part).NetHandoffIn()
+				dst.sink.Span(dst.xTrack, "handoff in", arriveAt, arriveAt, obs.Args{
+					Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size,
+					XC: n.domain, XSrc: int32(src.part), XSeq: seq, HasX: true,
+				})
 				n.arrive(dst, pkt)
+			})
+			src.sink.Span(src.xTrack, "handoff out", now, arriveAt, obs.Args{
+				Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size,
+				XC: n.domain, XSrc: int32(src.part), XSeq: seq, HasX: true,
 			})
 		},
 	})
@@ -441,7 +473,7 @@ func (n *Network) arrive(dst *port, pkt *Packet) {
 	dst.down.station.Submit(&sim.Job{
 		Service: down,
 		Done: func(enq, started, fin sim.Time) {
-			n.tracer.Span(dst.rxTrack, "frame", started, fin,
+			dst.sink.Span(dst.rxTrack, "frame", started, fin,
 				obs.Args{Req: pkt.FlowID, HasReq: pkt.FlowID != 0, Bytes: pkt.Size, Wait: started - enq})
 			dst.eng.After(dst.down.propagation, func() {
 				dst.delivered++

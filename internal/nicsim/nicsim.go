@@ -26,9 +26,9 @@ type TrafficGate struct {
 
 	Admitted uint64
 
-	tracer *obs.Tracer
-	track  obs.TrackID
-	chk    *invariant.Checker
+	sink  *obs.Sink
+	track obs.TrackID
+	chk   *invariant.Checker
 }
 
 // NewTrafficGate builds a gate for the model's PPSCap.
@@ -42,13 +42,14 @@ func NewTrafficGate(eng *sim.Engine, m *spec.NICModel) *TrafficGate {
 }
 
 // EnableTracing records the gate's pipeline occupancy as a "traffic mgr"
-// lane in the given trace group.
-func (g *TrafficGate) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
-	if !tr.Enabled() {
+// lane in the given trace group, emitting through the owning
+// partition's sink (sink 0 on classic clusters).
+func (g *TrafficGate) EnableTracing(sk *obs.Sink, group obs.GroupID) {
+	if sk == nil {
 		return
 	}
-	g.tracer = tr
-	g.track = tr.NewTrack(group, "traffic mgr")
+	g.sink = sk
+	g.track = sk.NewTrack(group, "traffic mgr")
 }
 
 // EnableInvariants attaches the admission-conservation checker: every
@@ -73,7 +74,7 @@ func (g *TrafficGate) Admit(flow uint64, bytes int, deliver func()) {
 		return
 	}
 	g.station.Submit(&sim.Job{Service: g.perPkt, Done: func(enq, started, fin sim.Time) {
-		g.tracer.Span(g.track, "admit", started, fin,
+		g.sink.Span(g.track, "admit", started, fin,
 			obs.Args{Req: flow, HasReq: flow != 0, Bytes: bytes, Wait: started - enq})
 		g.chk.GateDeliver()
 		deliver()
@@ -85,9 +86,9 @@ func (g *TrafficGate) Admit(flow uint64, bytes int, deliver func()) {
 // invoking core waits for completion, as the paper observes (§2.2.3:
 // "invoking an accelerator is not free since the NIC core has to wait").
 type AccelBank struct {
-	eng    *sim.Engine
-	units  map[string]*accelUnit
-	tracer *obs.Tracer
+	eng   *sim.Engine
+	units map[string]*accelUnit
+	sink  *obs.Sink
 }
 
 type accelUnit struct {
@@ -108,20 +109,21 @@ func NewAccelBank(eng *sim.Engine, m *spec.NICModel) *AccelBank {
 }
 
 // EnableTracing registers one lane per accelerator unit in the given
-// group. Units are registered in sorted name order so track numbering
-// does not depend on map iteration order.
-func (b *AccelBank) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
-	if !tr.Enabled() {
+// group, emitting through the owning partition's sink. Units are
+// registered in sorted name order so track numbering does not depend on
+// map iteration order.
+func (b *AccelBank) EnableTracing(sk *obs.Sink, group obs.GroupID) {
+	if sk == nil {
 		return
 	}
-	b.tracer = tr
+	b.sink = sk
 	names := make([]string, 0, len(b.units))
 	for name := range b.units {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		b.units[name].track = tr.NewTrack(group, "accel "+name)
+		b.units[name].track = sk.NewTrack(group, "accel "+name)
 	}
 }
 
@@ -162,7 +164,7 @@ func (b *AccelBank) Invoke(name string, bytes, batch int, done func()) (sim.Time
 	u := b.units[name]
 	u.Invokes++
 	u.station.Submit(&sim.Job{Service: cost, Done: func(enq, started, fin sim.Time) {
-		b.tracer.Span(u.track, name, started, fin,
+		b.sink.Span(u.track, name, started, fin,
 			obs.Args{Bytes: bytes, Wait: started - enq})
 		if done != nil {
 			done()
@@ -181,7 +183,7 @@ func (b *AccelBank) Stall(name string, d sim.Time) bool {
 	}
 	u.Stalls++
 	u.station.Submit(&sim.Job{Service: d, Done: func(enq, started, fin sim.Time) {
-		b.tracer.Span(u.track, name+" [stall]", started, fin,
+		b.sink.Span(u.track, name+" [stall]", started, fin,
 			obs.Args{Wait: started - enq})
 	}})
 	return true

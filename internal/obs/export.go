@@ -46,7 +46,15 @@ func appendQuoted(b []byte, s string) []byte {
 // track index + 1) with thread_name and thread_sort_index metadata, so
 // the viewer shows lanes in registration order. Spans are "X" (complete)
 // events with ts/dur in microseconds and args {req, bytes, wait_us,
-// shard}; instants are "i" events with thread scope.
+// shard, xc/xsrc/xseq}; instants are "i" events with thread scope.
+//
+// Shard merge: events are gathered from every partition sink in sink
+// index order, then stably sorted by (track, start). Because each track
+// is owned by exactly one partition (tracks belong to a node; a node
+// lives on one partition), within-track order is the owning partition's
+// deterministic emission order, so the merged artifact is byte-identical
+// at any PDES worker count — the tracing analogue of the (at, src, seq)
+// event merge.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var b []byte
@@ -100,20 +108,28 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 
-		// Stable sort by (track, start): per-lane monotonic timestamps.
-		spans := make([]int, len(t.spans))
+		// Concatenate the partition sinks in index order, then stable
+		// sort by (track, start): per-lane monotonic timestamps, and a
+		// deterministic merge (see the function comment).
+		var allSpans []span
+		var allInsts []instant
+		for _, sk := range t.sinks {
+			allSpans = append(allSpans, sk.spans...)
+			allInsts = append(allInsts, sk.instants...)
+		}
+		spans := make([]int, len(allSpans))
 		for i := range spans {
 			spans[i] = i
 		}
 		sort.SliceStable(spans, func(i, j int) bool {
-			a, c := &t.spans[spans[i]], &t.spans[spans[j]]
+			a, c := &allSpans[spans[i]], &allSpans[spans[j]]
 			if a.track != c.track {
 				return a.track < c.track
 			}
 			return a.start < c.start
 		})
 		for _, si := range spans {
-			sp := &t.spans[si]
+			sp := &allSpans[si]
 			tk := t.tracks[sp.track]
 			sep()
 			b = append(b, `{"name":`...)
@@ -153,25 +169,33 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				arg("shard")
 				b = strconv.AppendInt(b, int64(sp.args.Shard), 10)
 			}
+			if sp.args.HasX {
+				arg("xc")
+				b = strconv.AppendInt(b, int64(sp.args.XC), 10)
+				arg("xsrc")
+				b = strconv.AppendInt(b, int64(sp.args.XSrc), 10)
+				arg("xseq")
+				b = strconv.AppendUint(b, sp.args.XSeq, 10)
+			}
 			b = append(b, `}}`...)
 			if err := put(); err != nil {
 				return err
 			}
 		}
 
-		insts := make([]int, len(t.instants))
+		insts := make([]int, len(allInsts))
 		for i := range insts {
 			insts[i] = i
 		}
 		sort.SliceStable(insts, func(i, j int) bool {
-			a, c := &t.instants[insts[i]], &t.instants[insts[j]]
+			a, c := &allInsts[insts[i]], &allInsts[insts[j]]
 			if a.track != c.track {
 				return a.track < c.track
 			}
 			return a.at < c.at
 		})
 		for _, ii := range insts {
-			in := &t.instants[ii]
+			in := &allInsts[ii]
 			tk := t.tracks[in.track]
 			sep()
 			b = append(b, `{"name":`...)

@@ -126,6 +126,24 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest sample (0 before any samples).
 func (h *Histogram) Max() float64 { return h.max }
 
+// Merge folds other's samples into h at bucket granularity: count, sum
+// and max stay exact; quantiles keep bucket resolution. Used by the
+// report layer to aggregate per-node sojourn histograms into one
+// per-experiment distribution. A nil other is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
 // Quantile returns the q-th quantile (q in [0,1]) as the upper bound of
 // the bucket holding the q·n-th sample; 0 when empty.
 func (h *Histogram) Quantile(q float64) float64 {
@@ -182,12 +200,26 @@ type snapshot struct {
 // normally once the simulation itself goes quiet. Sampling is read-only
 // — it never mutates simulation state or consumes randomness — so
 // enabling metrics cannot change simulation results.
+//
+// On a partitioned (PDES) simulation the collector must not schedule
+// engine events at all: a sampling event would change the conservative
+// window structure (the safe horizon T is the earliest pending event)
+// and with it the deterministic (at, src, seq) merge of cross-partition
+// traffic. AttachGroup switches the collector to window mode, where the
+// round coordinator drives sampling at window boundaries instead — see
+// windowFlush.
 type Collector struct {
 	eng      *sim.Engine
 	interval sim.Time
 	regs     []*Registry
 	snaps    []snapshot
 	started  bool
+
+	// group is non-nil in window mode; next is the earliest un-sampled
+	// grid point (multiples of interval, first at interval — the same
+	// grid the classic tick walks).
+	group *sim.Group
+	next  sim.Time
 }
 
 // DefaultMetricsInterval is the default snapshot spacing (sim time).
@@ -217,13 +249,50 @@ func (c *Collector) Registry(name string) *Registry {
 // Enroll adds an externally-created registry.
 func (c *Collector) Enroll(r *Registry) { c.regs = append(c.regs, r) }
 
-// Start schedules the periodic sampling. Idempotent.
+// AttachGroup switches the collector to window mode for a partitioned
+// simulation: sampling is driven by the group's round coordinator at
+// conservative-window boundaries, and Start schedules nothing on the
+// engine (observation must not perturb the window structure). No-op for
+// a nil or single-partition group, which run the classic engine path.
+// Attach once, before Start and before the group runs.
+func (c *Collector) AttachGroup(g *sim.Group) {
+	if c == nil || g == nil || g.Partitions() <= 1 || c.group != nil {
+		return
+	}
+	c.group = g
+	g.OnRound(c.windowFlush)
+}
+
+// Start schedules the periodic sampling. Idempotent. In window mode
+// (AttachGroup) it only arms the grid; the group coordinator does the
+// sampling.
 func (c *Collector) Start() {
 	if c == nil || c.started {
 		return
 	}
 	c.started = true
+	if c.group != nil {
+		c.next = c.interval
+		return
+	}
 	c.eng.After(c.interval, c.tick)
+}
+
+// windowFlush is the window-mode sampler, invoked by the round
+// coordinator after every partition has executed its events strictly
+// before limit. If one or more grid points fell inside the window just
+// completed, it records one snapshot stamped at the latest such point:
+// every record then reflects a consistent cross-partition cut at a
+// window boundary — samples never straddle a conservative window (the
+// same boundary-flush shape as sim.Engine's per-window executed-counter
+// flush). Values are read here, between rounds, so no lock is needed.
+func (c *Collector) windowFlush(limit sim.Time) {
+	if !c.started || c.next >= limit {
+		return
+	}
+	at := c.next + ((limit-1-c.next)/c.interval)*c.interval
+	c.snapshotAt(at)
+	c.next = at + c.interval
 }
 
 func (c *Collector) tick() {
@@ -236,13 +305,17 @@ func (c *Collector) tick() {
 	c.eng.After(c.interval, c.tick)
 }
 
-// Snapshot samples every registry once, immediately. The CLIs call it
-// after the run for a final end-state record.
+// Snapshot samples every registry once, immediately, stamped with the
+// engine's current virtual time. The CLIs call it after the run for a
+// final end-state record.
 func (c *Collector) Snapshot() {
 	if c == nil {
 		return
 	}
-	now := c.eng.Now()
+	c.snapshotAt(c.eng.Now())
+}
+
+func (c *Collector) snapshotAt(now sim.Time) {
 	for ri, r := range c.regs {
 		vals := make([]value, len(r.items))
 		for i, it := range r.items {
@@ -271,4 +344,67 @@ func (c *Collector) Snapshots() int {
 		return 0
 	}
 	return len(c.snaps)
+}
+
+// Watermarks returns the maximum sampled value per gauge name across
+// every registry and buffered snapshot — the high-water marks of queue
+// depths, core counts and backlogs over the run. The report layer
+// aggregates these per experiment.
+func (c *Collector) Watermarks() map[string]float64 {
+	if c == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, s := range c.snaps {
+		r := c.regs[s.reg]
+		for i, v := range s.vals {
+			if i >= len(r.items) || r.items[i].kind != kindGauge {
+				continue
+			}
+			name := r.items[i].name
+			if cur, ok := out[name]; !ok || v.f > cur {
+				out[name] = v.f
+			}
+		}
+	}
+	return out
+}
+
+// CounterTotals samples every counter once, now, and returns the values
+// summed per metric name across registries — the end-of-run totals the
+// report layer folds into per-experiment counters.
+func (c *Collector) CounterTotals() map[string]uint64 {
+	if c == nil {
+		return nil
+	}
+	out := map[string]uint64{}
+	for _, r := range c.regs {
+		for _, it := range r.items {
+			if it.kind == kindCounter {
+				out[it.name] += it.c()
+			}
+		}
+	}
+	return out
+}
+
+// MergedHistogram returns a fresh histogram holding the bucket-level
+// merge of every registered histogram with the given name (one per
+// node, typically), or nil if none exist.
+func (c *Collector) MergedHistogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	var out *Histogram
+	for _, r := range c.regs {
+		for _, it := range r.items {
+			if it.kind == kindHist && it.name == name {
+				if out == nil {
+					out = &Histogram{}
+				}
+				out.Merge(it.h)
+			}
+		}
+	}
+	return out
 }

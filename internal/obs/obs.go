@@ -29,6 +29,8 @@
 package obs
 
 import (
+	"sort"
+
 	"repro/internal/sim"
 )
 
@@ -63,6 +65,16 @@ type Args struct {
 	// HasShard is set, since shard 0 is a valid id.
 	Shard    int32
 	HasShard bool
+	// XC/XSrc/XSeq annotate a cross-partition handoff with its
+	// deterministic merge stamp: the tracing domain (one per partitioned
+	// cluster sharing the tracer), the source partition, and the
+	// source-local sequence from sim.Group.Inject. The pair of spans
+	// carrying the same (XC, XSrc, XSeq) are the two halves of one
+	// crossing; only emitted when HasX is set.
+	XC   int32
+	XSrc int32
+	XSeq uint64
+	HasX bool
 }
 
 // span is one completed occupancy interval on a track.
@@ -91,19 +103,65 @@ type trackInfo struct {
 // by design — traces are an offline debugging artifact, bounded by the
 // (finite) simulated window, exactly like Chrome's own tracing.
 //
+// Under the parallel engine the tracer is sharded: each PDES partition
+// emits into its own Sink (a private buffer — no cross-partition locks
+// on the emit path), and export merges the shards deterministically
+// (see WriteChromeTrace). Registration (Group/NewTrack/Sink/NewDomain)
+// is coordinator-only: call it while building the topology, never from
+// concurrent window execution. Classic single-engine runs use the
+// tracer's own Span/Instant, which delegate to sink 0.
+//
 // The zero value is not useful; construct with NewTracer. A nil *Tracer
 // is the disabled tracer: every method no-ops.
 type Tracer struct {
 	groups  []string
 	gindex  map[string]GroupID
 	tracks  []trackInfo
-	spans   []span
-	instants []instant
+	sinks   []*Sink
+	domains int32
 }
 
 // NewTracer returns an empty, enabled tracer.
 func NewTracer() *Tracer {
 	return &Tracer{gindex: map[string]GroupID{}}
+}
+
+// Sink is one partition's private span buffer. Emitting through a Sink
+// takes no locks and shares no mutable state with other sinks, so
+// partitions can trace concurrently inside PDES windows; determinism of
+// the merged artifact follows from each track being owned by exactly
+// one partition (see WriteChromeTrace). A nil *Sink — from a nil tracer
+// — no-ops every method, preserving the zero-cost disabled path.
+type Sink struct {
+	t        *Tracer
+	spans    []span
+	instants []instant
+}
+
+// Sink returns partition part's emit buffer, creating buffers up
+// through part on first use. Coordinator-only (it grows the sink
+// table); call during topology build. A nil tracer returns a nil Sink.
+func (t *Tracer) Sink(part int) *Sink {
+	if t == nil || part < 0 {
+		return nil
+	}
+	for len(t.sinks) <= part {
+		t.sinks = append(t.sinks, &Sink{t: t})
+	}
+	return t.sinks[part]
+}
+
+// NewDomain allocates a tracing-domain id for cross-partition handoff
+// stamps. One partitioned cluster = one domain: (domain, src partition,
+// Inject seq) is then unique across every cluster sharing this tracer
+// (a bench sweep traces many clusters into one file, each cluster's
+// Inject seqs restarting at 1).
+func (t *Tracer) NewDomain() int32 {
+	if t == nil {
+		return -1
+	}
+	t.domains++
+	return t.domains - 1
 }
 
 // Enabled reports whether the tracer records anything.
@@ -135,33 +193,75 @@ func (t *Tracer) NewTrack(g GroupID, name string) TrackID {
 	return id
 }
 
-// Span records a completed occupancy [start, end] on a track. Calls on a
-// nil tracer or against NoTrack are free.
+// Span records a completed occupancy [start, end] on a track, through
+// sink 0 (the classic single-engine path). Calls on a nil tracer or
+// against NoTrack are free.
 func (t *Tracer) Span(tr TrackID, name string, start, end sim.Time, a Args) {
-	if t == nil || tr < 0 {
+	if t == nil {
+		return
+	}
+	t.Sink(0).Span(tr, name, start, end, a)
+}
+
+// Instant records a point event on a track (a scheduler decision, a
+// migration phase boundary), through sink 0.
+func (t *Tracer) Instant(tr TrackID, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Sink(0).Instant(tr, name, at)
+}
+
+// Spans reports the number of buffered spans across all sinks
+// (instants excluded).
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range t.sinks {
+		n += len(s.spans)
+	}
+	return n
+}
+
+// Group delegates track-group registration to the parent tracer, so a
+// substrate holding only a Sink can still name its lanes.
+// Coordinator-only, like Tracer.Group.
+func (s *Sink) Group(name string) GroupID {
+	if s == nil {
+		return NoGroup
+	}
+	return s.t.Group(name)
+}
+
+// NewTrack delegates lane registration to the parent tracer.
+// Coordinator-only, like Tracer.NewTrack.
+func (s *Sink) NewTrack(g GroupID, name string) TrackID {
+	if s == nil {
+		return NoTrack
+	}
+	return s.t.NewTrack(g, name)
+}
+
+// Span records a completed occupancy [start, end] into this sink's
+// private buffer. Safe to call from the partition's window goroutine.
+func (s *Sink) Span(tr TrackID, name string, start, end sim.Time, a Args) {
+	if s == nil || tr < 0 {
 		return
 	}
 	if end < start {
 		end = start
 	}
-	t.spans = append(t.spans, span{track: tr, name: name, start: start, end: end, args: a})
+	s.spans = append(s.spans, span{track: tr, name: name, start: start, end: end, args: a})
 }
 
-// Instant records a point event on a track (a scheduler decision, a
-// migration phase boundary).
-func (t *Tracer) Instant(tr TrackID, name string, at sim.Time) {
-	if t == nil || tr < 0 {
+// Instant records a point event into this sink's private buffer.
+func (s *Sink) Instant(tr TrackID, name string, at sim.Time) {
+	if s == nil || tr < 0 {
 		return
 	}
-	t.instants = append(t.instants, instant{track: tr, name: name, at: at})
-}
-
-// Spans reports the number of buffered spans (instants excluded).
-func (t *Tracer) Spans() int {
-	if t == nil {
-		return 0
-	}
-	return len(t.spans)
+	s.instants = append(s.instants, instant{track: tr, name: name, at: at})
 }
 
 // Tracks reports the number of registered tracks.
@@ -170,4 +270,27 @@ func (t *Tracer) Tracks() int {
 		return 0
 	}
 	return len(t.tracks)
+}
+
+// EachInstant invokes fn for every buffered instant with its owning
+// group's name, in deterministic merged order: ascending time, ties in
+// sink index then emission order. The report layer builds its
+// mode-switch/migration timelines from this.
+func (t *Tracer) EachInstant(fn func(group, name string, at sim.Time)) {
+	if t == nil {
+		return
+	}
+	var all []instant
+	for _, s := range t.sinks {
+		all = append(all, s.instants...)
+	}
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return all[idx[i]].at < all[idx[j]].at })
+	for _, i := range idx {
+		in := &all[i]
+		fn(t.groups[t.tracks[in.track].group], in.name, in.at)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // chromeEvent mirrors the subset of the trace_event schema we emit.
@@ -34,6 +35,25 @@ type TraceStats struct {
 	Instants  int // "i" events
 	Processes int // distinct pids with a process_name
 	Tracks    int // distinct (pid, tid) lanes carrying spans or instants
+	Handoffs  int // paired cross-partition handoff crossings
+	// HandoffsInFlight counts "handoff out" spans whose arrival lies
+	// beyond the last completed event — packets still on the wire when
+	// the run window closed, legitimately missing their "in" half.
+	HandoffsInFlight int
+}
+
+// xstamp is a cross-partition handoff identity: tracing domain, source
+// partition, and source-local Inject sequence.
+type xstamp struct {
+	xc, xsrc int64
+	xseq     uint64
+}
+
+// xhalf is one side of a crossing as seen in the artifact.
+type xhalf struct {
+	seen bool
+	ts   float64 // "out": departure; "in": arrival
+	dur  float64
 }
 
 // ValidateChromeTrace parses a trace_event JSON document and checks the
@@ -43,9 +63,18 @@ type TraceStats struct {
 //   - every event has a known phase (M, X, or i) and pid/tid,
 //   - "X" events have non-negative ts and dur,
 //   - per (pid, tid) lane, "X" timestamps are monotonically
-//     non-decreasing (spans on one track never go back in time),
+//     non-decreasing, and "i" timestamps likewise (spans and instants
+//     on one track never go back in time),
 //   - every pid carrying spans has a process_name, and every lane a
-//     thread_name.
+//     thread_name,
+//   - merged partitioned artifacts pair up: every (xc, xsrc, xseq)
+//     handoff stamp appears exactly once as a "handoff out" span and
+//     once as a "handoff in" span (no duplicate stamps across partition
+//     shards), and the in side starts where the out side ends. An out
+//     half whose arrival lies beyond the last completed event is exempt
+//     (the packet was in flight when the run window closed — under the
+//     conservative engine every partition has advanced past any earlier
+//     arrival, so a missing in there would have been recorded).
 func ValidateChromeTrace(r io.Reader) (TraceStats, error) {
 	var st TraceStats
 	var doc chromeTrace
@@ -56,10 +85,18 @@ func ValidateChromeTrace(r io.Reader) (TraceStats, error) {
 
 	type lane struct{ pid, tid int64 }
 	lastTs := map[lane]float64{}
+	lastInst := map[lane]float64{}
 	namedProc := map[int64]bool{}
 	namedLane := map[lane]bool{}
 	usedProc := map[int64]bool{}
 	usedLane := map[lane]bool{}
+	outs := map[xstamp]xhalf{}
+	ins := map[xstamp]xhalf{}
+
+	// maxCompleted tracks the latest time any event finished. "handoff
+	// out" is the only prospective span (emitted at departure, ending at
+	// a future arrival), so it contributes its start, not its end.
+	var maxCompleted float64
 
 	for i, ev := range doc.TraceEvents {
 		st.Events++
@@ -88,13 +125,47 @@ func ValidateChromeTrace(r io.Reader) (TraceStats, error) {
 			lastTs[l] = ev.Ts
 			usedProc[ev.Pid] = true
 			usedLane[l] = true
+			if end := ev.Ts + ev.Dur; ev.Name == "handoff out" {
+				if ev.Ts > maxCompleted {
+					maxCompleted = ev.Ts
+				}
+			} else if end > maxCompleted {
+				maxCompleted = end
+			}
+			if stamp, ok, err := handoffStamp(ev); err != nil {
+				return st, fmt.Errorf("trace: event %d (%q): %w", i, ev.Name, err)
+			} else if ok {
+				var side map[xstamp]xhalf
+				switch ev.Name {
+				case "handoff out":
+					side = outs
+				case "handoff in":
+					side = ins
+				default:
+					return st, fmt.Errorf("trace: event %d: handoff stamp on non-handoff span %q", i, ev.Name)
+				}
+				if side[stamp].seen {
+					return st, fmt.Errorf("trace: event %d: duplicate %q stamp (xc=%d xsrc=%d xseq=%d)",
+						i, ev.Name, stamp.xc, stamp.xsrc, stamp.xseq)
+				}
+				side[stamp] = xhalf{seen: true, ts: ev.Ts, dur: ev.Dur}
+			}
 		case "i":
 			st.Instants++
 			if ev.Ts < 0 {
 				return st, fmt.Errorf("trace: event %d (%q): negative ts", i, ev.Name)
 			}
+			l := lane{ev.Pid, ev.Tid}
+			if prev, ok := lastInst[l]; ok && ev.Ts < prev {
+				return st, fmt.Errorf("trace: event %d (%q): instant ts %.3f before %.3f on pid=%d tid=%d",
+					i, ev.Name, ev.Ts, prev, ev.Pid, ev.Tid)
+			}
+			lastInst[l] = ev.Ts
 			usedProc[ev.Pid] = true
-			usedLane[lane{ev.Pid, ev.Tid}] = true
+			usedLane[l] = true
+			if ev.Ts > maxCompleted {
+				maxCompleted = ev.Ts
+			}
 		default:
 			return st, fmt.Errorf("trace: event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
 		}
@@ -111,7 +182,60 @@ func ValidateChromeTrace(r io.Reader) (TraceStats, error) {
 	}
 	st.Processes = len(namedProc)
 	st.Tracks = len(usedLane)
+
+	// Pair the handoff halves: the merged artifact must contain both
+	// sides of every crossing, and the in side must start at the ns the
+	// out side ends (compare at nanosecond grain — ts values are decimal
+	// microseconds that are not exactly representable in binary floats).
+	for stamp, out := range outs {
+		in, ok := ins[stamp]
+		if !ok {
+			if nanos(out.ts+out.dur) > nanos(maxCompleted) {
+				st.HandoffsInFlight++
+				continue
+			}
+			return st, fmt.Errorf("trace: handoff out (xc=%d xsrc=%d xseq=%d) has no matching handoff in",
+				stamp.xc, stamp.xsrc, stamp.xseq)
+		}
+		if nanos(out.ts+out.dur) != nanos(in.ts) {
+			return st, fmt.Errorf("trace: handoff (xc=%d xsrc=%d xseq=%d): out ends at %.3fµs but in starts at %.3fµs",
+				stamp.xc, stamp.xsrc, stamp.xseq, out.ts+out.dur, in.ts)
+		}
+		st.Handoffs++
+	}
+	for stamp := range ins {
+		if !outs[stamp].seen {
+			return st, fmt.Errorf("trace: handoff in (xc=%d xsrc=%d xseq=%d) has no matching handoff out",
+				stamp.xc, stamp.xsrc, stamp.xseq)
+		}
+	}
 	return st, nil
+}
+
+// nanos rounds a microsecond timestamp to integer nanoseconds.
+func nanos(us float64) int64 { return int64(math.Round(us * 1000)) }
+
+// handoffStamp extracts the (xc, xsrc, xseq) annotation from a span's
+// args, reporting whether one is present. A partial stamp is an error.
+func handoffStamp(ev chromeEvent) (xstamp, bool, error) {
+	if len(ev.Args) == 0 {
+		return xstamp{}, false, nil
+	}
+	var a struct {
+		XC   *int64  `json:"xc"`
+		XSrc *int64  `json:"xsrc"`
+		XSeq *uint64 `json:"xseq"`
+	}
+	if err := json.Unmarshal(ev.Args, &a); err != nil {
+		return xstamp{}, false, fmt.Errorf("bad args: %w", err)
+	}
+	if a.XC == nil && a.XSrc == nil && a.XSeq == nil {
+		return xstamp{}, false, nil
+	}
+	if a.XC == nil || a.XSrc == nil || a.XSeq == nil {
+		return xstamp{}, false, fmt.Errorf("partial handoff stamp (need xc, xsrc, xseq)")
+	}
+	return xstamp{xc: *a.XC, xsrc: *a.XSrc, xseq: *a.XSeq}, true, nil
 }
 
 // MetricsStats summarizes a validated metrics file.

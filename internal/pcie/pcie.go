@@ -40,8 +40,8 @@ type Engine struct {
 	BytesWritten    uint64
 	GatherTransfers uint64
 
-	tracer *obs.Tracer
-	track  obs.TrackID
+	sink  *obs.Sink
+	track obs.TrackID
 }
 
 // New creates a DMA engine with the given profile.
@@ -50,13 +50,14 @@ func New(eng *sim.Engine, prof spec.DMAProfile) *Engine {
 }
 
 // EnableTracing records the engine's byte-transfer occupancy as a "dma"
-// lane in the given trace group.
-func (e *Engine) EnableTracing(tr *obs.Tracer, group obs.GroupID) {
-	if !tr.Enabled() {
+// lane in the given trace group, emitting through the owning
+// partition's sink (sink 0 on classic clusters).
+func (e *Engine) EnableTracing(sk *obs.Sink, group obs.GroupID) {
+	if sk == nil {
 		return
 	}
-	e.tracer = tr
-	e.track = tr.NewTrack(group, "dma")
+	e.sink = sk
+	e.track = sk.NewTrack(group, "dma")
 }
 
 // Profile returns the engine's cost profile.
@@ -75,7 +76,7 @@ func (e *Engine) op(name string, bytes int, latency sim.Time, done func()) {
 	e.station.Submit(&sim.Job{
 		Service: transfer,
 		Done: func(enq, started, fin sim.Time) {
-			e.tracer.Span(e.track, name, started, fin,
+			e.sink.Span(e.track, name, started, fin,
 				obs.Args{Bytes: bytes, Wait: started - enq})
 			if done == nil {
 				return

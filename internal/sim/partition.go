@@ -82,6 +82,16 @@ type Group struct {
 	lookahead Time
 	rounds    uint64
 
+	// onRound hooks run on the coordinator after each round's windows
+	// complete (and before the next drain), with the round's window
+	// limit. Every partition has executed exactly its events strictly
+	// before the limit at that point, so hooks observe a consistent
+	// cross-partition cut; the WaitGroup barrier orders their reads
+	// after all window writes. The observability layer samples metrics
+	// here instead of scheduling engine events, which would perturb the
+	// window structure.
+	onRound []func(limit Time)
+
 	// limit is the current window bound, written by the coordinator
 	// between rounds and read by workers during them (the work channel
 	// send/receive pair orders the accesses).
@@ -134,6 +144,19 @@ func (g *Group) TightenLookahead(l Time) {
 // Rounds returns the number of synchronization windows executed.
 func (g *Group) Rounds() uint64 { return g.rounds }
 
+// OnRound registers a coordinator hook invoked after each round's
+// windows complete, with the round's window limit. Hooks must be
+// read-only with respect to simulation state: they run between rounds,
+// never concurrently with window execution, and must not schedule
+// events (that would change the window structure and break the
+// any-worker-count determinism guarantee). Register before RunUntil.
+func (g *Group) OnRound(fn func(limit Time)) {
+	if fn == nil {
+		return
+	}
+	g.onRound = append(g.onRound, fn)
+}
+
 // Crossed returns the number of cross-partition events injected. Only
 // meaningful between rounds (it reads the per-source stamps without
 // synchronization).
@@ -161,10 +184,16 @@ func (g *Group) ExecutedEvents() uint64 {
 // guarantees by construction; violating it means the destination may
 // already have executed past at, so it panics loudly instead of
 // corrupting the timeline.
-func (g *Group) Inject(src, dst int, at Time, fn func()) {
+//
+// The returned value is the (src-local) sequence stamp assigned to a
+// cross-partition event — the seq of the deterministic (at, src, seq)
+// merge order — or 0 for a same-partition inject. The tracing layer
+// annotates handoff spans with it so the merged artifact can pair the
+// two halves of every crossing.
+func (g *Group) Inject(src, dst int, at Time, fn func()) uint64 {
 	if src == dst {
 		g.engs[src].At(at, fn)
-		return
+		return 0
 	}
 	if fn == nil {
 		panic("sim: nil event function")
@@ -179,6 +208,7 @@ func (g *Group) Inject(src, dst int, at Time, fn func()) {
 	ib.mu.Lock()
 	ib.buf = append(ib.buf, x)
 	ib.mu.Unlock()
+	return x.seq
 }
 
 // drain folds the partition's inbox into its heap. It runs on the
@@ -278,6 +308,9 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 			for i := range g.engs {
 				g.runWindow(i)
 			}
+		}
+		for _, fn := range g.onRound {
+			fn(limit)
 		}
 	}
 	// Normalize clocks and flush executed counters; every remaining
