@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline
+.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline qos-smoke
 
 build:
 	$(GO) build ./...
@@ -16,15 +16,16 @@ vet:
 # fault-injection / recovery suites, the scale-out router/batching
 # code exercised from parallel sweeps, the PDES partition sync path
 # (sim.Group windows, netsim cross-partition handoff, the mesh scale
-# topology), and the sharded tracer/collector emitting from parallel
-# partition windows.
+# topology), the sharded tracer/collector emitting from parallel
+# partition windows, and the QoS lane/admission path running one
+# LaneSched and Gate per partition under window-parallel execution.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
 		./internal/shard/... ./internal/workload/... ./internal/msgring/... \
 		./internal/stats/... ./internal/invariant/... ./internal/sched/... \
 		./internal/netsim/... ./internal/mesh/... ./internal/obs/... \
-		./internal/pcie/...
+		./internal/pcie/... ./internal/qos/...
 
 # trace-smoke: run a traced simulation and validate the emitted Chrome
 # trace (well-formed trace_event JSON, named lanes, monotonic per-track
@@ -94,6 +95,16 @@ obs-smoke:
 		{ echo "obs-smoke: no handoff spans in partitioned trace" >&2; exit 1; }
 	@echo "obs-smoke: ok"
 
+# qos-smoke: golden-replay the multi-tenant QoS experiment family along
+# both determinism axes — serial vs parallel sweep on the classic
+# clusters, and PDES at 1-vs-2 / 1-vs-4 window workers on the
+# partitioned lane mesh — with the invariant checker (lane conservation,
+# strict priority, control-shed violations, admission ledger) attached
+# to every cluster.
+qos-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick -check -qos
+	@echo "qos-smoke: ok"
+
 # obs-gate: the perf-trajectory gate — rebuild the observed-run summary
 # and compare it against the committed BENCH_obs.json baseline.
 # Deterministic fields (ops, quantiles, events, counters, watermarks,
@@ -112,7 +123,7 @@ obs-baseline:
 
 # check: the CI step — static analysis, the race suite, and the
 # observability and invariant smoke tests.
-check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke obs-smoke obs-gate
+check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke qos-smoke obs-smoke obs-gate
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -9,16 +9,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/nstack"
+	"repro/internal/qos"
 )
 
 // This file re-exports the three distributed applications of §4 (and
 // the §5.7 network functions) behind the spec-based deployment API, so
 // examples and downstream users can stand up the paper's workloads in a
 // few lines. Each application deploys from a spec struct — RKVSpec,
-// DTSpec, RTASpec, FirewallSpec, IPSecSpec — sharing the Placement /
-// RetryPolicy / FailoverPolicy vocabulary and an optional fault
-// schedule (see fault.go). The former positional Deploy* helpers remain
-// as deprecated wrappers.
+// DTSpec, RTASpec, FirewallSpec, IPSecSpec — embedding the shared
+// DeployCommon policy block (placement, retry, failover, faults,
+// tenancy) and implementing the DeploySpec interface, so harnesses can
+// validate and deploy heterogeneous specs generically.
 
 // Shared deployment-policy vocabulary.
 type (
@@ -28,6 +29,50 @@ type (
 	RetryPolicy = deploy.RetryPolicy
 	// FailoverPolicy configures the RKV leader-failover monitor.
 	FailoverPolicy = deploy.FailoverPolicy
+	// DeployCommon is the policy block embedded by every spec.
+	DeployCommon = deploy.Common
+	// DeploySpec is the generic spec surface (Validate + DeployApp).
+	DeploySpec = deploy.Spec
+	// DeployedApp is the surface every deployed application shares.
+	DeployedApp = deploy.App
+	// DeployValidationError is the typed spec-validation failure.
+	DeployValidationError = deploy.ValidationError
+	// TrafficClass tags requests and tenants (data/control/telemetry).
+	TrafficClass = deploy.Class
+)
+
+// Traffic classes for multi-tenant QoS (see internal/qos).
+const (
+	TrafficData      = deploy.ClassData
+	TrafficControl   = deploy.ClassControl
+	TrafficTelemetry = deploy.ClassTelemetry
+)
+
+// Multi-tenant QoS vocabulary (see internal/qos and DESIGN.md §11).
+type (
+	// Tenancy is the QoS block a DeployCommon carries: tenant table,
+	// lane bounds, SLO controller. A nil *Tenancy disables QoS entirely.
+	Tenancy = qos.Tenancy
+	// Tenant configures one tenant's admission budget and latency SLO.
+	Tenant = qos.Tenant
+	// LaneConfig bounds the per-lane queues and prices the lane pump.
+	LaneConfig = qos.LaneConfig
+	// SLOControllerConfig tunes the closed-loop SLO controller.
+	SLOControllerConfig = qos.ControllerConfig
+	// QoSRuntime is a deployment's installed QoS machinery (lane
+	// schedulers, admission gates, controller, aggregated counters).
+	QoSRuntime = qos.Runtime
+	// QoSLane is a strict-priority lane (control > data > telemetry).
+	QoSLane = qos.Lane
+	// QoSConfigError is the typed Tenancy validation failure.
+	QoSConfigError = qos.ConfigError
+)
+
+// Lanes in strict priority order (see QoSLane).
+const (
+	LaneControl   = qos.LaneControl
+	LaneData      = qos.LaneData
+	LaneTelemetry = qos.LaneTelemetry
 )
 
 // OnNIC / OnHost are the two common placements.
@@ -72,32 +117,8 @@ const (
 	RKVStatusRedirect = rkv.StatusRedirect
 )
 
-// Deprecated: use RKVStatusNotFound / RKVStatusRedirect.
-const (
-	RKVNotFound = rkv.StatusNotFound
-	RKVRedirect = rkv.StatusRedirect
-)
-
 // RKVStatusOf reads the typed status byte of a response payload.
 func RKVStatusOf(p []byte) RKVStatus { return rkv.StatusOf(p) }
-
-// DeployRKV registers the four RKV actor kinds on each node; the first
-// node starts as Paxos leader.
-//
-// Deprecated: build an RKVSpec and call its Deploy method; the spec
-// form also carries retry/failover policies and a fault schedule.
-func DeployRKV(nodes []*Node, baseID ActorID, memLimit int, onNIC bool) (*RKVDeployment, error) {
-	d, err := RKVSpec{
-		Nodes:     nodes,
-		BaseID:    baseID,
-		MemLimit:  memLimit,
-		Placement: Placement{OnNIC: onNIC},
-	}.Deploy()
-	if err != nil {
-		return nil, err
-	}
-	return d.Deployment, nil
-}
 
 // RKVPut / RKVGet / RKVDel build client request payloads.
 func RKVPut(key, value []byte) []byte { return rkv.PutReq(key, value) }
@@ -139,34 +160,8 @@ const (
 	DTOutcomeAborted   = dt.OutcomeAborted
 )
 
-// Deprecated: use DTOutcomeCommitted / DTOutcomeAborted.
-const (
-	DTCommitted = dt.OutcomeCommitted
-	DTAborted   = dt.OutcomeAborted
-)
-
 // DTOutcomeOf reads the typed outcome byte of a response payload.
 func DTOutcomeOf(p []byte) DTOutcome { return dt.OutcomeOf(p) }
-
-// DeployDT registers a transaction coordinator (plus host logging
-// actor) on coordNode and one participant per entry of partNodes. It
-// returns an error when partNodes is empty — such a coordinator could
-// never commit anything.
-//
-// Deprecated: build a DTSpec and call its Deploy method; the spec form
-// also arms the coordinator sweep (TxnTimeout) and lock leases.
-func DeployDT(coordNode *Node, partNodes []*Node, baseID ActorID, onNIC bool) (*DTCoordinator, []*DTStore, error) {
-	d, err := DTSpec{
-		Coordinator:  coordNode,
-		Participants: partNodes,
-		BaseID:       baseID,
-		Placement:    Placement{OnNIC: onNIC},
-	}.Deploy()
-	if err != nil {
-		return nil, nil, err
-	}
-	return d.Coord, d.Stores, nil
-}
 
 // DTEncodeTxn / DTDecodeOutcome translate between transactions and wire
 // payloads.
@@ -193,27 +188,6 @@ type (
 
 // RTAKindTuples is the client-facing message kind.
 const RTAKindTuples = rta.KindTuples
-
-// DeployRTA registers a filter→counter→ranker pipeline on node,
-// forwarding consolidated top-n views to an aggregator actor created on
-// aggNode's host; onUpdate observes each consolidated view.
-//
-// Deprecated: build an RTASpec and call its Deploy method.
-func DeployRTA(node, aggNode *Node, baseID ActorID, discard []string, topN int, onNIC bool, onUpdate func([]RTAEntry)) (RTATopology, error) {
-	d, err := RTASpec{
-		Node:       node,
-		Aggregator: aggNode,
-		BaseID:     baseID,
-		Discard:    discard,
-		TopN:       topN,
-		Placement:  Placement{OnNIC: onNIC},
-		OnUpdate:   onUpdate,
-	}.Deploy()
-	if err != nil {
-		return RTATopology{}, err
-	}
-	return d.Topology, nil
-}
 
 // RTAEncodeTuples packs tuples for a client request.
 func RTAEncodeTuples(tuples []string) []byte { return rta.EncodeTuples(tuples) }
@@ -243,42 +217,8 @@ const (
 	NFVerdictDeny  = nf.VerdictDeny
 )
 
-// Deprecated: use NFVerdictAllow / NFVerdictDeny.
-const (
-	NFAllow = nf.VerdictAllow
-	NFDeny  = nf.VerdictDeny
-)
-
 // NFVerdictOf reads the typed verdict byte of a response payload.
 func NFVerdictOf(p []byte) NFVerdict { return nf.VerdictOf(p) }
-
-// DeployFirewall registers a software-TCAM firewall actor on the node.
-//
-// Deprecated: build a FirewallSpec and call its Deploy method.
-func DeployFirewall(node *Node, id ActorID, rules []FirewallRule, onNIC bool) error {
-	_, err := FirewallSpec{
-		Node:      node,
-		ID:        id,
-		Rules:     rules,
-		Placement: Placement{OnNIC: onNIC},
-	}.Deploy()
-	return err
-}
-
-// DeployIPSec registers an IPSec gateway actor (AES-256-CTR + SHA-1,
-// accelerator-assisted on the NIC).
-//
-// Deprecated: build an IPSecSpec and call its Deploy method.
-func DeployIPSec(node *Node, id ActorID, key, macKey []byte, onNIC bool) error {
-	_, err := IPSecSpec{
-		Node:      node,
-		ID:        id,
-		Key:       key,
-		MACKey:    macKey,
-		Placement: Placement{OnNIC: onNIC},
-	}.Deploy()
-	return err
-}
 
 // UniformFirewallRules synthesizes n wildcard rules for experiments.
 func UniformFirewallRules(n int) []FirewallRule { return nf.UniformRules(n) }

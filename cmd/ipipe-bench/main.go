@@ -17,6 +17,11 @@
 // invariant fingerprints must match byte-for-byte and no invariant may
 // be violated. Exits nonzero otherwise.
 //
+// -qos selects the qos-* experiment family (multi-tenant lanes,
+// admission, SLO controller). Combined with -check it replays the
+// family along both determinism axes: serial vs parallel sweep, and
+// PDES at 1 vs 2 and 1 vs 4 window workers.
+//
 // -pdes N shards partition-aware experiments (the scale-nodes family)
 // across N engine partitions, executed by -parallel window workers.
 // Combined with -check, the replay runs along the PDES axis instead:
@@ -67,6 +72,7 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write NDJSON metric snapshots to `file` (forces -parallel 1)")
 	metricsInterval := flag.Duration("metrics-interval", 100*time.Microsecond, "metric snapshot interval (virtual time)")
 	check := flag.Bool("check", false, "golden replay: run with invariant checking at two seeds × serial/parallel and compare fingerprints")
+	qosAxis := flag.Bool("qos", false, "run the qos-* experiment family; with -check, replay it along both the sweep axis and the PDES axis at 1/2/4 workers")
 	pdes := flag.Int("pdes", 0, "engine partition count for partition-aware experiments (0 = their defaults); with -check, replays along the PDES axis")
 	pdesBench := flag.String("pdes-bench", "", "write the PDES speedup matrix (JSON) to `file` and exit ('-' for stdout)")
 	pdesNodes := flag.String("pdes-nodes", "", "comma-separated mesh sizes for -pdes-bench (default: the scale-nodes sweep sizes)")
@@ -142,6 +148,9 @@ func main() {
 	}
 
 	ids := flag.Args()
+	if *qosAxis && len(ids) == 0 {
+		ids = bench.QoSExperimentIDs()
+	}
 	if *list || len(ids) == 0 {
 		fmt.Println("experiments (run with: ipipe-bench [ids...] or 'all'):")
 		for _, id := range bench.IDs() {
@@ -160,9 +169,12 @@ func main() {
 		opts := bench.Options{Quick: *quick, Seed: *seed, PDESParts: *pdes}
 		var rep *bench.ReplayReport
 		var err error
-		if *pdes > 0 {
+		switch {
+		case *qosAxis:
+			rep, err = bench.GoldenReplayQoS(opts, []int{2, 4})
+		case *pdes > 0:
 			rep, err = bench.GoldenReplayPDES(ids, opts, *parallel)
-		} else {
+		default:
 			rep, err = bench.GoldenReplay(ids, opts, *parallel)
 		}
 		if err != nil {

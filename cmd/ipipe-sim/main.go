@@ -194,127 +194,130 @@ func main() {
 		}
 	}
 
+	// Each app is one table entry on the generic spec path: build returns
+	// the spec (nil for the raw echo actor, which deploys no spec) and a
+	// request-generator factory reading whatever it needs off the
+	// deployed App. Validation and deployment below are app-agnostic —
+	// the spec-API v2 replacement for the old five-arm switch.
+	common := ipipe.DeployCommon{Placement: ipipe.Placement{OnNIC: offload}}
 	var nodes []*ipipe.Node
-	var c *ipipe.Client
-	switch *app {
-	case "rkv":
-		nNodes := 3
-		if *shards > nNodes {
-			nNodes = *shards
-		}
-		for i := 0; i < nNodes; i++ {
-			nodes = append(nodes, mkNode(fmt.Sprintf("kv%d", i)))
-		}
-		d, err := ipipe.RKVSpec{
-			Nodes:     nodes,
-			BaseID:    100,
-			MemLimit:  4 << 20,
-			Placement: ipipe.Placement{OnNIC: offload},
-			Shards:    *shards,
-		}.Deploy()
-		if err != nil {
-			panic(err)
-		}
-		c = client()
-		z := workload.NewZipf(cl.Eng.Rand(), 1_000_000, 0.99)
-		drive(c, func(i uint64) ipipe.Request {
-			key := []byte(fmt.Sprintf("k%07d", z.Next()))
-			data := ipipe.RKVGet(key)
-			if i%20 == 0 {
-				data = ipipe.RKVPut(key, make([]byte, *size/4))
+	builders := map[string]func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request){
+		"rkv": func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request) {
+			nNodes := 3
+			if *shards > nNodes {
+				nNodes = *shards
 			}
-			node, leader := d.LeaderFor(key)
-			return ipipe.Request{Node: node, Dst: leader, Kind: ipipe.RKVKindReq,
-				Data: data, Size: *size, FlowID: i}
-		})
-	case "dt":
-		coord := mkNode("coord")
-		p1, p2 := mkNode("part1"), mkNode("part2")
-		nodes = []*ipipe.Node{coord, p1, p2}
-		if _, err := (ipipe.DTSpec{
-			Coordinator:  coord,
-			Participants: []*ipipe.Node{p1, p2},
-			BaseID:       100,
-			Placement:    ipipe.Placement{OnNIC: offload},
-		}).Deploy(); err != nil {
-			panic(err)
-		}
-		c = client()
-		drive(c, func(i uint64) ipipe.Request {
-			txn := ipipe.DTTxn{
-				Reads: []ipipe.DTOp{
-					{Key: []byte(fmt.Sprintf("r%d", i%512))},
-					{Key: []byte(fmt.Sprintf("r%d", (i+7)%512))},
-				},
-				Writes: []ipipe.DTOp{{Key: []byte(fmt.Sprintf("w%d", i%256)), Value: make([]byte, *size/4)}},
+			for i := 0; i < nNodes; i++ {
+				nodes = append(nodes, mkNode(fmt.Sprintf("kv%d", i)))
 			}
-			return ipipe.Request{Node: "coord", Dst: 100, Kind: ipipe.DTKindTxn,
-				Data: ipipe.DTEncodeTxn(txn), Size: *size, FlowID: i}
-		})
-	case "rta":
-		n := mkNode("worker")
-		nodes = []*ipipe.Node{n}
-		rtaApp, err := ipipe.RTASpec{
-			Node:       n,
-			Aggregator: n,
-			BaseID:     100,
-			Discard:    []string{"spam"},
-			TopN:       10,
-			Placement:  ipipe.Placement{OnNIC: offload},
-		}.Deploy()
-		if err != nil {
-			panic(err)
-		}
-		topo := rtaApp.Topology
-		c = client()
-		words := []string{"alpha", "beta", "gamma", "delta", "spam", "zeta"}
-		drive(c, func(i uint64) ipipe.Request {
-			batch := *size / 32
-			if batch < 1 {
-				batch = 1
+			spc := ipipe.RKVSpec{Common: common, Nodes: nodes, BaseID: 100, MemLimit: 4 << 20, Shards: *shards}
+			return spc, func(app ipipe.DeployedApp) func(uint64) ipipe.Request {
+				d := app.(*ipipe.RKVApp)
+				z := workload.NewZipf(cl.Eng.Rand(), 1_000_000, 0.99)
+				return func(i uint64) ipipe.Request {
+					key := []byte(fmt.Sprintf("k%07d", z.Next()))
+					data := ipipe.RKVGet(key)
+					if i%20 == 0 {
+						data = ipipe.RKVPut(key, make([]byte, *size/4))
+					}
+					node, leader := d.LeaderFor(key)
+					return ipipe.Request{Node: node, Dst: leader, Kind: ipipe.RKVKindReq,
+						Data: data, Size: *size, FlowID: i}
+				}
 			}
-			tuples := make([]string, batch)
-			for j := range tuples {
-				tuples[j] = words[(int(i)+j)%len(words)]
+		},
+		"dt": func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request) {
+			coord := mkNode("coord")
+			p1, p2 := mkNode("part1"), mkNode("part2")
+			nodes = []*ipipe.Node{coord, p1, p2}
+			spc := ipipe.DTSpec{Common: common, Coordinator: coord,
+				Participants: []*ipipe.Node{p1, p2}, BaseID: 100}
+			return spc, func(ipipe.DeployedApp) func(uint64) ipipe.Request {
+				return func(i uint64) ipipe.Request {
+					txn := ipipe.DTTxn{
+						Reads: []ipipe.DTOp{
+							{Key: []byte(fmt.Sprintf("r%d", i%512))},
+							{Key: []byte(fmt.Sprintf("r%d", (i+7)%512))},
+						},
+						Writes: []ipipe.DTOp{{Key: []byte(fmt.Sprintf("w%d", i%256)), Value: make([]byte, *size/4)}},
+					}
+					return ipipe.Request{Node: "coord", Dst: 100, Kind: ipipe.DTKindTxn,
+						Data: ipipe.DTEncodeTxn(txn), Size: *size, FlowID: i}
+				}
 			}
-			return ipipe.Request{Node: "worker", Dst: topo.Filter, Kind: ipipe.RTAKindTuples,
-				Data: ipipe.RTAEncodeTuples(tuples), Size: *size, FlowID: i}
-		})
-	case "nf":
-		n := mkNode("gw")
-		nodes = []*ipipe.Node{n}
-		if _, err := (ipipe.FirewallSpec{
-			Node:      n,
-			ID:        100,
-			Rules:     ipipe.UniformFirewallRules(8192),
-			Placement: ipipe.Placement{OnNIC: offload},
-		}).Deploy(); err != nil {
-			panic(err)
-		}
-		c = client()
-		drive(c, func(i uint64) ipipe.Request {
-			t := ipipe.FiveTuple{SrcIP: uint32(i) << 13, DstPort: 80, Proto: 6}
-			return ipipe.Request{Node: "gw", Dst: 100, Data: t.Encode(), Size: *size, FlowID: i}
-		})
-	case "echo":
-		n := mkNode("srv")
-		nodes = []*ipipe.Node{n}
-		echo := &ipipe.Actor{ID: 100, Name: "echo",
-			OnMessage: func(ctx ipipe.Ctx, m ipipe.Msg) ipipe.Duration {
-				ctx.Reply(m)
-				return 2 * ipipe.Microsecond
-			}}
-		if err := n.Register(echo, offload, 0); err != nil {
-			panic(err)
-		}
-		c = client()
-		drive(c, func(i uint64) ipipe.Request {
-			return ipipe.Request{Node: "srv", Dst: 100, Size: *size, FlowID: i}
-		})
-	default:
+		},
+		"rta": func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request) {
+			n := mkNode("worker")
+			nodes = []*ipipe.Node{n}
+			spc := ipipe.RTASpec{Common: common, Node: n, Aggregator: n, BaseID: 100,
+				Discard: []string{"spam"}, TopN: 10}
+			return spc, func(app ipipe.DeployedApp) func(uint64) ipipe.Request {
+				topo := app.(*ipipe.RTAApp).Topology
+				words := []string{"alpha", "beta", "gamma", "delta", "spam", "zeta"}
+				return func(i uint64) ipipe.Request {
+					batch := *size / 32
+					if batch < 1 {
+						batch = 1
+					}
+					tuples := make([]string, batch)
+					for j := range tuples {
+						tuples[j] = words[(int(i)+j)%len(words)]
+					}
+					return ipipe.Request{Node: "worker", Dst: topo.Filter, Kind: ipipe.RTAKindTuples,
+						Data: ipipe.RTAEncodeTuples(tuples), Size: *size, FlowID: i}
+				}
+			}
+		},
+		"nf": func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request) {
+			n := mkNode("gw")
+			nodes = []*ipipe.Node{n}
+			spc := ipipe.FirewallSpec{Common: common, Node: n, ID: 100,
+				Rules: ipipe.UniformFirewallRules(8192)}
+			return spc, func(ipipe.DeployedApp) func(uint64) ipipe.Request {
+				return func(i uint64) ipipe.Request {
+					t := ipipe.FiveTuple{SrcIP: uint32(i) << 13, DstPort: 80, Proto: 6}
+					return ipipe.Request{Node: "gw", Dst: 100, Data: t.Encode(), Size: *size, FlowID: i}
+				}
+			}
+		},
+		"echo": func() (ipipe.DeploySpec, func(ipipe.DeployedApp) func(uint64) ipipe.Request) {
+			n := mkNode("srv")
+			nodes = []*ipipe.Node{n}
+			echo := &ipipe.Actor{ID: 100, Name: "echo",
+				OnMessage: func(ctx ipipe.Ctx, m ipipe.Msg) ipipe.Duration {
+					ctx.Reply(m)
+					return 2 * ipipe.Microsecond
+				}}
+			if err := n.Register(echo, offload, 0); err != nil {
+				panic(err)
+			}
+			return nil, func(ipipe.DeployedApp) func(uint64) ipipe.Request {
+				return func(i uint64) ipipe.Request {
+					return ipipe.Request{Node: "srv", Dst: 100, Size: *size, FlowID: i}
+				}
+			}
+		},
+	}
+	build, ok := builders[*app]
+	if !ok {
 		fmt.Fprintf(os.Stderr, "ipipe-sim: unknown app %q\n", *app)
 		os.Exit(1)
 	}
+	spc, mkGen := build()
+	var deployed ipipe.DeployedApp
+	if spc != nil {
+		if err := spc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: %v\n", err)
+			os.Exit(1)
+		}
+		var err error
+		if deployed, err = spc.DeployApp(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipipe-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	c := client()
+	drive(c, mkGen(deployed))
 
 	if collector != nil {
 		collector.Start()

@@ -29,9 +29,9 @@ func Example() {
 	// answered=1 host-cores=0.0
 }
 
-// ExampleDeployRKV stands up the paper's replicated key-value store on
-// three SmartNIC-equipped replicas and performs a write then a read.
-func ExampleDeployRKV() {
+// ExampleRKVSpec_Deploy stands up the paper's replicated key-value store
+// on three SmartNIC-equipped replicas and performs a write then a read.
+func ExampleRKVSpec_Deploy() {
 	cl := ipipe.NewCluster(1)
 	var nodes []*ipipe.Node
 	for i := 0; i < 3; i++ {
@@ -39,7 +39,10 @@ func ExampleDeployRKV() {
 			Name: fmt.Sprintf("kv%d", i), NIC: ipipe.LiquidIOII_CN2350(),
 		}))
 	}
-	d, err := ipipe.DeployRKV(nodes, 100, 1<<20, true)
+	d, err := ipipe.RKVSpec{
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Nodes:  nodes, BaseID: 100, MemLimit: 1 << 20,
+	}.Deploy()
 	if err != nil {
 		panic(err)
 	}

@@ -21,12 +21,12 @@ func main() {
 
 	var lastTop []ipipe.RTAEntry
 	d, err := ipipe.RTASpec{
+		Common:     ipipe.DeployCommon{Placement: ipipe.OnNIC},
 		Node:       node,
 		Aggregator: node,
 		BaseID:     10,
 		Discard:    []string{"spam", "noise"},
 		TopN:       5,
-		Placement:  ipipe.OnNIC,
 		OnUpdate:   func(top []ipipe.RTAEntry) { lastTop = top },
 	}.Deploy()
 	if err != nil {

@@ -28,12 +28,14 @@ func main() {
 	// 16KB Memtable so minor compactions happen during the short demo;
 	// the paper sized Memtables to NIC DRAM (≈32MB).
 	d, err := ipipe.RKVSpec{
-		Nodes:     nodes,
-		BaseID:    100,
-		MemLimit:  16 << 10,
-		Placement: ipipe.OnNIC,
-		Retry:     ipipe.DefaultRetry(),
-		Shards:    4,
+		Common: ipipe.DeployCommon{
+			Placement: ipipe.OnNIC,
+			Retry:     ipipe.DefaultRetry(),
+		},
+		Nodes:    nodes,
+		BaseID:   100,
+		MemLimit: 16 << 10,
+		Shards:   4,
 	}.Deploy()
 	if err != nil {
 		panic(err)

@@ -28,13 +28,15 @@ func main() {
 		},
 	}, ipipe.UniformFirewallRules(8192)...)
 	if _, err := (ipipe.FirewallSpec{
-		Node: node, ID: 1, Rules: rules, Placement: ipipe.OnNIC,
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Node:   node, ID: 1, Rules: rules,
 	}).Deploy(); err != nil {
 		panic(err)
 	}
 	if _, err := (ipipe.IPSecSpec{
-		Node: node, ID: 2, Key: make([]byte, 32),
-		MACKey: []byte("gateway-mac-key"), Placement: ipipe.OnNIC,
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Node:   node, ID: 2, Key: make([]byte, 32),
+		MACKey: []byte("gateway-mac-key"),
 	}).Deploy(); err != nil {
 		panic(err)
 	}

@@ -18,10 +18,10 @@ func main() {
 	p2 := cl.AddNode(ipipe.NodeConfig{Name: "part2", NIC: ipipe.LiquidIOII_CN2350()})
 
 	d, err := ipipe.DTSpec{
+		Common:       ipipe.DeployCommon{Placement: ipipe.OnNIC},
 		Coordinator:  coordNode,
 		Participants: []*ipipe.Node{p1, p2},
 		BaseID:       100,
-		Placement:    ipipe.OnNIC,
 	}.Deploy()
 	if err != nil {
 		panic(err)

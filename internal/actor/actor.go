@@ -51,6 +51,15 @@ type Msg struct {
 	// Origin is the network node the request entered from; Reply routes
 	// the response back there.
 	Origin string
+	// Tenant indexes the deployment's tenant table for multi-tenant
+	// admission and SLO accounting (entries past the table — including
+	// the zero value on untagged legacy traffic with an empty table —
+	// are unconstrained).
+	Tenant uint16
+	// Class is the traffic class (qos.Class: data/control/telemetry)
+	// steering the message through the node-front priority lanes. The
+	// zero value is the data class, so untagged traffic is unchanged.
+	Class uint8
 }
 
 // Via enumerates message ingress paths.

@@ -152,13 +152,15 @@ func rkvFaultCluster(seed uint64, onNIC bool, sched fault.Schedule, failover dep
 		}))
 	}
 	d, err := deploy.RKVSpec{
-		Nodes:     nodes,
-		BaseID:    100,
-		MemLimit:  8 << 20,
-		Placement: deploy.Placement{OnNIC: onNIC},
-		Retry:     faultRetry(),
-		Failover:  failover,
-		Faults:    sched,
+		Common: deploy.Common{
+			Placement: deploy.Placement{OnNIC: onNIC},
+			Retry:     faultRetry(),
+			Failover:  failover,
+			Faults:    sched,
+		},
+		Nodes:    nodes,
+		BaseID:   100,
+		MemLimit: 8 << 20,
 	}.Deploy()
 	if err != nil {
 		panic(err)
@@ -420,15 +422,17 @@ func faultsDT(opts Options) *Result {
 		coord := mk("coord")
 		parts := []*core.Node{mk("part1"), mk("part2"), mk("part3")}
 		d, err := deploy.DTSpec{
+			Common: deploy.Common{
+				Placement: deploy.NIC,
+				Faults: fault.Schedule{Faults: []fault.Fault{
+					fault.Crash("part1", crashAt, crashDur),
+				}},
+			},
 			Coordinator:  coord,
 			Participants: parts,
 			BaseID:       100,
-			Placement:    deploy.NIC,
 			TxnTimeout:   txnTimeout,
 			LockLease:    lockLease,
-			Faults: fault.Schedule{Faults: []fault.Fault{
-				fault.Crash("part1", crashAt, crashDur),
-			}},
 		}.Deploy()
 		if err != nil {
 			panic(err)

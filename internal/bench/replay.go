@@ -178,3 +178,32 @@ func GoldenReplayPDES(ids []string, opts Options, workers int) (*ReplayReport, e
 	}
 	return rep, nil
 }
+
+// GoldenReplayQoS replays the qos-* experiment family along both
+// determinism axes: the serial-vs-parallel sweep axis, and the PDES
+// axis at every requested worker count (defaults 2 and 4, covering the
+// 1/2/4-worker contract — each PDES pass compares a 1-worker run
+// against an N-worker run of the same partitioned cluster). Reports are
+// merged into one.
+func GoldenReplayQoS(opts Options, workerCounts []int) (*ReplayReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4}
+	}
+	ids := QoSExperimentIDs()
+	combined, err := GoldenReplay(ids, opts, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workerCounts {
+		rep, err := GoldenReplayPDES(ids, opts, w)
+		if err != nil {
+			return nil, err
+		}
+		combined.Runs += rep.Runs
+		combined.Clusters += rep.Clusters
+		combined.Checks += rep.Checks
+		combined.Violations = append(combined.Violations, rep.Violations...)
+		combined.Mismatches = append(combined.Mismatches, rep.Mismatches...)
+	}
+	return combined, nil
+}

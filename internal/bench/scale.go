@@ -70,9 +70,12 @@ func runScale(seed uint64, shards, batch, depth int, theta float64, window sim.T
 		placement = deploy.NIC
 	}
 	d, err := deploy.RKVSpec{
+		Common: deploy.Common{
+			Placement: placement,
+			Failover:  deploy.FailoverPolicy{Disabled: true},
+		},
 		Nodes: nodes, BaseID: 1000, MemLimit: 8 << 20,
-		Placement: placement, Shards: shards, Replicas: 3,
-		Failover: deploy.FailoverPolicy{Disabled: true},
+		Shards: shards, Replicas: 3,
 		// 512 vnodes keep ring imbalance ≈3%, so the sweep measures the
 		// workload's skew, not the router's.
 		ShardVNodes: 512,

@@ -242,6 +242,10 @@ type Node struct {
 	Watchdog   *isolation.Watchdog
 	Violations *isolation.ViolationLog
 
+	// lanes, when set, interposes class-priority lanes between the
+	// traffic gate and the scheduler (see SetLaneDispatcher).
+	lanes LaneDispatcher
+
 	actors map[actor.ID]*actor.Actor
 
 	// obs holds the node's trace tracks; latHist the per-node request
@@ -410,6 +414,34 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 // Offloaded reports whether this node runs iPipe on a SmartNIC.
 func (n *Node) Offloaded() bool { return n.Sched != nil }
 
+// Eng returns the engine this node's events run on (the partition
+// engine under PDES, the cluster engine otherwise).
+func (n *Node) Eng() *sim.Engine { return n.eng }
+
+// LaneDispatcher sits between traffic-gate admission and the actor
+// scheduler: wire messages are offered to it instead of going straight
+// to Sched.Arrive, letting internal/qos impose class-priority lanes
+// without core importing it. Offer runs on the node's engine.
+type LaneDispatcher interface {
+	Offer(m actor.Msg)
+}
+
+// SetLaneDispatcher interposes d on this node's wire→scheduler path
+// (nil restores direct delivery). Only meaningful on offloaded nodes;
+// local injections (Inject) bypass lanes by design — node-local control
+// traffic is never queued behind the wire.
+func (n *Node) SetLaneDispatcher(d LaneDispatcher) { n.lanes = d }
+
+// arriveNIC hands one admitted wire message to the NIC-side runtime,
+// through the lane dispatcher when one is installed.
+func (n *Node) arriveNIC(m actor.Msg) {
+	if n.lanes != nil {
+		n.lanes.Offer(m)
+		return
+	}
+	n.Sched.Arrive(m)
+}
+
 // Register deploys an actor on this node. onNIC selects initial
 // placement (ignored and forced to host on baseline nodes or when the
 // actor is PinHost). regionBytes ≤ 0 uses DefaultRegionBytes.
@@ -476,7 +508,7 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 			m.Origin = pkt.Src
 		}
 		if n.Sched != nil && !n.nicDown {
-			n.Gate.Admit(m.FlowID, pkt.Size, func() { n.Sched.Arrive(m) })
+			n.Gate.Admit(m.FlowID, pkt.Size, func() { n.arriveNIC(m) })
 			return
 		}
 		// Baseline node: DPDK delivers straight to host cores after the
@@ -499,7 +531,7 @@ func (n *Node) Deliver(pkt *netsim.Packet) {
 			// sees the individual messages.
 			n.Gate.Admit(pkt.FlowID, pkt.Size, func() {
 				for _, m := range msgs {
-					n.Sched.Arrive(m)
+					n.arriveNIC(m)
 				}
 			})
 			return

@@ -61,6 +61,16 @@ func (c *Cluster) AttachCheckers() []*invariant.Checker {
 // disabled — the nil receiver is the no-op state).
 func (c *Cluster) Checker() *invariant.Checker { return c.checker }
 
+// CheckerAt returns the invariant checker owning partition part (the
+// single cluster checker on classic clusters; nil when checking is
+// disabled — the nil receiver is the no-op state).
+func (c *Cluster) CheckerAt(part int) *invariant.Checker {
+	if part >= 0 && part < len(c.checkers) {
+		return c.checkers[part]
+	}
+	return c.checker
+}
+
 func (n *Node) enableInvariants(chk *invariant.Checker) {
 	if n.Sched != nil {
 		n.Sched.EnableInvariants(chk, n.Name)

@@ -5,6 +5,14 @@
 // shared policy vocabulary (Placement, RetryPolicy, FailoverPolicy) and
 // an optional fault.Schedule installed at deploy time.
 //
+// Spec-API v2 factors the policy fields every spec duplicated into one
+// embedded Common block — Placement, Retry, Failover, Faults, and the
+// multi-tenant qos.Tenancy — and gives harnesses a generic surface:
+// every spec implements Spec (Validate + DeployApp) and every deployed
+// app implements App, so ipipe-sim, ipipe-bench, and the golden-replay
+// harness iterate specs without per-app switch arms. A zero Common is
+// the legacy behavior, byte-for-byte.
+//
 // The specs also wire the recovery machinery that positional deployment
 // never could: an RKVSpec installs a leader-failover monitor that
 // triggers a Paxos election when the leader's node dies, and a DTSpec
@@ -24,6 +32,7 @@ import (
 	"repro/internal/apps/rta"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/qos"
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -108,6 +117,11 @@ func installFaults(cl *core.Cluster, s fault.Schedule) (*fault.Injector, error) 
 // per shard, leaders rotated across the node pool, with a
 // consistent-hash router directing keys to groups.
 type RKVSpec struct {
+	// Common is the shared policy block (placement, retry, failover,
+	// faults, tenancy). Placement offloads consensus and Memtable actors
+	// when OnNIC (SSTable reader and compactor stay host-pinned);
+	// Failover configures the leader-failover monitor per group.
+	Common
 	// Nodes is the node pool. A single-group deployment replicates on
 	// every node (the first starts as Paxos leader); a sharded one
 	// spreads each group's Replicas over the pool, shard s leading on
@@ -118,17 +132,6 @@ type RKVSpec struct {
 	BaseID actor.ID
 	// MemLimit is the Memtable size triggering minor compaction.
 	MemLimit int
-	// Placement offloads consensus and Memtable actors when OnNIC; the
-	// SSTable reader and compactor are always host-pinned.
-	Placement Placement
-	// Retry is the suggested client policy (exposed via RKV.Retry; the
-	// deployment itself sends nothing).
-	Retry RetryPolicy
-	// Failover configures the leader-failover monitor (per group when
-	// sharded).
-	Failover FailoverPolicy
-	// Faults is an optional failure schedule installed at deploy time.
-	Faults fault.Schedule
 	// Shards splits the key space over that many independent replica
 	// groups (0 or 1 = the classic single group).
 	Shards int
@@ -153,23 +156,50 @@ type RKV struct {
 	Router   *shard.Ring
 	Spec     RKVSpec
 	Injector *fault.Injector
+	// QoS is the installed tenancy runtime (nil when the spec had no
+	// Tenancy block).
+	QoS *qos.Runtime
 	// Elections counts failover-triggered elections across all groups.
 	Elections uint64
 }
 
+// AppName implements App.
+func (r *RKV) AppName() string { return "rkv" }
+
+// FaultInjector implements App.
+func (r *RKV) FaultInjector() *fault.Injector { return r.Injector }
+
+// QoSRuntime implements App.
+func (r *RKV) QoSRuntime() *qos.Runtime { return r.QoS }
+
+// Validate implements Spec.
+func (s RKVSpec) Validate() error {
+	if len(s.Nodes) == 0 {
+		return &ValidationError{Spec: "RKVSpec", Field: "Nodes", Reason: "needs at least one node"}
+	}
+	if s.Replicas > len(s.Nodes) {
+		return &ValidationError{Spec: "RKVSpec", Field: "Replicas",
+			Reason: fmt.Sprintf("wants %d replicas from %d nodes", s.Replicas, len(s.Nodes))}
+	}
+	if s.Shards < 0 {
+		return &ValidationError{Spec: "RKVSpec", Field: "Shards", Reason: "must be >= 0"}
+	}
+	return s.Common.validate("RKVSpec")
+}
+
+// DeployApp implements Spec.
+func (s RKVSpec) DeployApp() (App, error) { return s.Deploy() }
+
 // Deploy stands up the spec.
 func (s RKVSpec) Deploy() (*RKV, error) {
-	if len(s.Nodes) == 0 {
-		return nil, fmt.Errorf("deploy: RKVSpec needs at least one node")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	shards := s.Shards
 	if shards < 1 {
 		shards = 1
 	}
 	reps := s.Replicas
-	if reps > len(s.Nodes) {
-		return nil, fmt.Errorf("deploy: RKVSpec wants %d replicas from %d nodes", reps, len(s.Nodes))
-	}
 	if reps <= 0 {
 		if shards > 1 {
 			reps = 3
@@ -232,7 +262,35 @@ func (s RKVSpec) Deploy() (*RKV, error) {
 	if out.Injector, err = installFaults(cl, s.Faults); err != nil {
 		return nil, err
 	}
+	if out.QoS, err = installTenancy(cl, s.Nodes, s.Tenancy); err != nil {
+		return nil, err
+	}
+	if out.QoS != nil && shards > 1 {
+		// Give the SLO controller the scale-out knob: drop the busiest
+		// group from the ring (its key range remaps to the survivors),
+		// but never below one live shard.
+		out.QoS.BindReshard(out.hottestShard, func(g int) {
+			if out.Router.Shards() > 1 && out.Router.Live(g) {
+				out.Reshard(g)
+			}
+		})
+	}
 	return out, nil
+}
+
+// hottestShard returns the live group with the most consensus commits.
+func (r *RKV) hottestShard() int {
+	best, bestCommits := 0, uint64(0)
+	for g, d := range r.Groups {
+		var commits uint64
+		for _, rep := range d.Replicas {
+			commits += rep.Consensus.Commits
+		}
+		if commits > bestCommits {
+			best, bestCommits = g, commits
+		}
+	}
+	return best
 }
 
 // ShardFor returns the shard owning key per the router.
@@ -351,6 +409,10 @@ func liveLeader(g *rkv.Deployment) *rkv.Replica {
 
 // DTSpec deploys the distributed transaction system (OCC + 2PC).
 type DTSpec struct {
+	// Common is the shared policy block. Placement offloads coordinator
+	// and participants when OnNIC (the logger stays host-pinned);
+	// Failover is unused (the coordinator's sweep is the recovery path).
+	Common
 	// Coordinator hosts the coordinator actor and the host-pinned logger.
 	Coordinator *core.Node
 	// Participants hosts one participant actor each (must be non-empty:
@@ -359,19 +421,12 @@ type DTSpec struct {
 	// BaseID is the coordinator's actor ID; participant i uses
 	// BaseID+1+i and the logger BaseID+1+len(Participants).
 	BaseID actor.ID
-	// Placement offloads coordinator and participants when OnNIC; the
-	// logger is always host-pinned.
-	Placement Placement
-	// Retry is the suggested client policy (exposed via DT.Retry).
-	Retry RetryPolicy
 	// TxnTimeout arms the coordinator sweep: in-flight transactions
 	// older than this abort cleanly (0 disables the sweep).
 	TxnTimeout sim.Time
 	// LockLease bounds participant write-lock tenure (0 = the package
 	// default, negative = locks never expire).
 	LockLease sim.Time
-	// Faults is an optional failure schedule installed at deploy time.
-	Faults fault.Schedule
 }
 
 // DT is a deployed transaction system.
@@ -380,17 +435,40 @@ type DT struct {
 	Stores   []*dt.Store
 	Spec     DTSpec
 	Injector *fault.Injector
+	// QoS is the installed tenancy runtime (nil without a Tenancy block).
+	QoS *qos.Runtime
 }
 
-// Deploy stands up the spec. It rejects an empty participant set — the
+// AppName implements App.
+func (d *DT) AppName() string { return "dt" }
+
+// FaultInjector implements App.
+func (d *DT) FaultInjector() *fault.Injector { return d.Injector }
+
+// QoSRuntime implements App.
+func (d *DT) QoSRuntime() *qos.Runtime { return d.QoS }
+
+// Validate implements Spec. It rejects an empty participant set — the
 // legacy helper silently accepted one and produced a coordinator that
 // aborted every transaction.
-func (s DTSpec) Deploy() (*DT, error) {
+func (s DTSpec) Validate() error {
 	if s.Coordinator == nil {
-		return nil, fmt.Errorf("deploy: DTSpec needs a coordinator node")
+		return &ValidationError{Spec: "DTSpec", Field: "Coordinator", Reason: "needs a coordinator node"}
 	}
 	if len(s.Participants) == 0 {
-		return nil, fmt.Errorf("deploy: DTSpec needs at least one participant node (a coordinator without participants cannot commit transactions)")
+		return &ValidationError{Spec: "DTSpec", Field: "Participants",
+			Reason: "needs at least one participant node (a coordinator without participants cannot commit transactions)"}
+	}
+	return s.Common.validate("DTSpec")
+}
+
+// DeployApp implements Spec.
+func (s DTSpec) DeployApp() (App, error) { return s.Deploy() }
+
+// Deploy stands up the spec.
+func (s DTSpec) Deploy() (*DT, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	lease := s.LockLease
 	switch {
@@ -427,6 +505,10 @@ func (s DTSpec) Deploy() (*DT, error) {
 	if out.Injector, err = installFaults(s.Coordinator.Cluster(), s.Faults); err != nil {
 		return nil, err
 	}
+	nodes := append([]*core.Node{s.Coordinator}, s.Participants...)
+	if out.QoS, err = installTenancy(s.Coordinator.Cluster(), nodes, s.Tenancy); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -457,6 +539,10 @@ func (d *DT) installSweep() {
 
 // RTASpec deploys the real-time analytics pipeline.
 type RTASpec struct {
+	// Common is the shared policy block; Placement offloads the pipeline
+	// when OnNIC (the aggregator stays host-pinned). Retry and Failover
+	// are unused (the pipeline is one-way).
+	Common
 	// Node hosts the filter → counter → ranker pipeline.
 	Node *core.Node
 	// Aggregator hosts the host-pinned aggregator actor.
@@ -468,12 +554,8 @@ type RTASpec struct {
 	Discard []string
 	// TopN sizes the ranker and aggregator views.
 	TopN int
-	// Placement offloads the pipeline when OnNIC.
-	Placement Placement
 	// OnUpdate observes each consolidated top-N view.
 	OnUpdate func([]rta.Entry)
-	// Faults is an optional failure schedule installed at deploy time.
-	Faults fault.Schedule
 }
 
 // RTA is a deployed analytics pipeline.
@@ -481,12 +563,35 @@ type RTA struct {
 	Topology rta.Topology
 	Spec     RTASpec
 	Injector *fault.Injector
+	// QoS is the installed tenancy runtime (nil without a Tenancy block).
+	QoS *qos.Runtime
 }
+
+// AppName implements App.
+func (r *RTA) AppName() string { return "rta" }
+
+// FaultInjector implements App.
+func (r *RTA) FaultInjector() *fault.Injector { return r.Injector }
+
+// QoSRuntime implements App.
+func (r *RTA) QoSRuntime() *qos.Runtime { return r.QoS }
+
+// Validate implements Spec.
+func (s RTASpec) Validate() error {
+	if s.Node == nil || s.Aggregator == nil {
+		return &ValidationError{Spec: "RTASpec", Field: "Node",
+			Reason: "needs pipeline and aggregator nodes"}
+	}
+	return s.Common.validate("RTASpec")
+}
+
+// DeployApp implements Spec.
+func (s RTASpec) DeployApp() (App, error) { return s.Deploy() }
 
 // Deploy stands up the spec.
 func (s RTASpec) Deploy() (*RTA, error) {
-	if s.Node == nil || s.Aggregator == nil {
-		return nil, fmt.Errorf("deploy: RTASpec needs pipeline and aggregator nodes")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	topo := rta.Topology{
 		Filter:     s.BaseID,
@@ -511,6 +616,13 @@ func (s RTASpec) Deploy() (*RTA, error) {
 	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
 		return nil, err
 	}
+	nodes := []*core.Node{s.Node, s.Aggregator}
+	if s.Aggregator == s.Node {
+		nodes = nodes[:1]
+	}
+	if out.QoS, err = installTenancy(s.Node.Cluster(), nodes, s.Tenancy); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -518,23 +630,45 @@ func (s RTASpec) Deploy() (*RTA, error) {
 
 // FirewallSpec deploys a software-TCAM firewall actor.
 type FirewallSpec struct {
-	Node      *core.Node
-	ID        actor.ID
-	Rules     []nf.Rule
-	Placement Placement
-	Faults    fault.Schedule
+	// Common is the shared policy block (Retry and Failover unused).
+	Common
+	Node  *core.Node
+	ID    actor.ID
+	Rules []nf.Rule
 }
 
 // Firewall is a deployed firewall actor.
 type Firewall struct {
 	Spec     FirewallSpec
 	Injector *fault.Injector
+	// QoS is the installed tenancy runtime (nil without a Tenancy block).
+	QoS *qos.Runtime
 }
+
+// AppName implements App.
+func (f *Firewall) AppName() string { return "firewall" }
+
+// FaultInjector implements App.
+func (f *Firewall) FaultInjector() *fault.Injector { return f.Injector }
+
+// QoSRuntime implements App.
+func (f *Firewall) QoSRuntime() *qos.Runtime { return f.QoS }
+
+// Validate implements Spec.
+func (s FirewallSpec) Validate() error {
+	if s.Node == nil {
+		return &ValidationError{Spec: "FirewallSpec", Field: "Node", Reason: "needs a node"}
+	}
+	return s.Common.validate("FirewallSpec")
+}
+
+// DeployApp implements Spec.
+func (s FirewallSpec) DeployApp() (App, error) { return s.Deploy() }
 
 // Deploy stands up the spec.
 func (s FirewallSpec) Deploy() (*Firewall, error) {
-	if s.Node == nil {
-		return nil, fmt.Errorf("deploy: FirewallSpec needs a node")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	fw := nf.NewFirewall(s.ID, nf.NewTCAM(s.Rules))
 	if err := s.Node.Register(fw, s.Placement.OnNIC, 0); err != nil {
@@ -545,30 +679,59 @@ func (s FirewallSpec) Deploy() (*Firewall, error) {
 	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
 		return nil, err
 	}
+	if out.QoS, err = installTenancy(s.Node.Cluster(), []*core.Node{s.Node}, s.Tenancy); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // IPSecSpec deploys an IPSec gateway actor (AES-256-CTR + SHA-1,
 // accelerator-assisted on the NIC).
 type IPSecSpec struct {
-	Node      *core.Node
-	ID        actor.ID
-	Key       []byte
-	MACKey    []byte
-	Placement Placement
-	Faults    fault.Schedule
+	// Common is the shared policy block (Retry and Failover unused).
+	Common
+	Node   *core.Node
+	ID     actor.ID
+	Key    []byte
+	MACKey []byte
 }
 
 // IPSec is a deployed gateway actor.
 type IPSec struct {
 	Spec     IPSecSpec
 	Injector *fault.Injector
+	// QoS is the installed tenancy runtime (nil without a Tenancy block).
+	QoS *qos.Runtime
 }
+
+// AppName implements App.
+func (i *IPSec) AppName() string { return "ipsec" }
+
+// FaultInjector implements App.
+func (i *IPSec) FaultInjector() *fault.Injector { return i.Injector }
+
+// QoSRuntime implements App.
+func (i *IPSec) QoSRuntime() *qos.Runtime { return i.QoS }
+
+// Validate implements Spec. Key material is checked here (not at first
+// packet) so a bad spec fails before deployment.
+func (s IPSecSpec) Validate() error {
+	if s.Node == nil {
+		return &ValidationError{Spec: "IPSecSpec", Field: "Node", Reason: "needs a node"}
+	}
+	if _, err := nf.NewIPSecState(s.Key, s.MACKey); err != nil {
+		return &ValidationError{Spec: "IPSecSpec", Field: "Key", Reason: err.Error(), Err: err}
+	}
+	return s.Common.validate("IPSecSpec")
+}
+
+// DeployApp implements Spec.
+func (s IPSecSpec) DeployApp() (App, error) { return s.Deploy() }
 
 // Deploy stands up the spec.
 func (s IPSecSpec) Deploy() (*IPSec, error) {
-	if s.Node == nil {
-		return nil, fmt.Errorf("deploy: IPSecSpec needs a node")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	st, err := nf.NewIPSecState(s.Key, s.MACKey)
 	if err != nil {
@@ -579,6 +742,9 @@ func (s IPSecSpec) Deploy() (*IPSec, error) {
 	}
 	out := &IPSec{Spec: s}
 	if out.Injector, err = installFaults(s.Node.Cluster(), s.Faults); err != nil {
+		return nil, err
+	}
+	if out.QoS, err = installTenancy(s.Node.Cluster(), []*core.Node{s.Node}, s.Tenancy); err != nil {
 		return nil, err
 	}
 	return out, nil

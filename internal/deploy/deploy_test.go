@@ -25,8 +25,8 @@ func rkvTestCluster(t *testing.T, seed uint64, sched fault.Schedule, fo Failover
 		}))
 	}
 	d, err := RKVSpec{
-		Nodes: nodes, BaseID: 100, MemLimit: 8 << 20,
-		Placement: NIC, Failover: fo, Faults: sched,
+		Common: Common{Placement: NIC, Failover: fo, Faults: sched},
+		Nodes:  nodes, BaseID: 100, MemLimit: 8 << 20,
 	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
@@ -132,11 +132,14 @@ func TestDTCoordinatorCrashAtomicity(t *testing.T) {
 	parts := []*core.Node{mk("p1"), mk("p2"), mk("p3")}
 	const txnTimeout = 500 * sim.Microsecond
 	d, err := DTSpec{
+		Common: Common{
+			Placement: NIC,
+			Faults: fault.Schedule{Faults: []fault.Fault{
+				fault.Crash("coord", 800*sim.Microsecond, 600*sim.Microsecond),
+			}},
+		},
 		Coordinator: coord, Participants: parts, BaseID: 100,
-		Placement: NIC, TxnTimeout: txnTimeout, LockLease: sim.Millisecond,
-		Faults: fault.Schedule{Faults: []fault.Fault{
-			fault.Crash("coord", 800*sim.Microsecond, 600*sim.Microsecond),
-		}},
+		TxnTimeout: txnTimeout, LockLease: sim.Millisecond,
 	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +262,7 @@ func TestRKVSpecFaultFreeMatchesLegacy(t *testing.T) {
 		}
 		var dep *rkv.Deployment
 		if useSpec {
-			d, err := RKVSpec{Nodes: nodes, BaseID: 100, MemLimit: 8 << 20, Placement: NIC}.Deploy()
+			d, err := RKVSpec{Common: Common{Placement: NIC}, Nodes: nodes, BaseID: 100, MemLimit: 8 << 20}.Deploy()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -308,8 +311,9 @@ func shardedCluster(t *testing.T, seed uint64, nNodes, shards, reps int) (*core.
 		}))
 	}
 	d, err := RKVSpec{
-		Nodes: nodes, BaseID: 100, MemLimit: 8 << 20,
-		Placement: NIC, Shards: shards, Replicas: reps,
+		Common: Common{Placement: NIC},
+		Nodes:  nodes, BaseID: 100, MemLimit: 8 << 20,
+		Shards: shards, Replicas: reps,
 	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
@@ -408,12 +412,15 @@ func TestRKVShardedFailoverIsolated(t *testing.T) {
 		}))
 	}
 	d, err := RKVSpec{
-		Nodes: nodes, BaseID: 100, MemLimit: 8 << 20, Placement: NIC,
+		Common: Common{
+			Placement: NIC,
+			Faults: fault.Schedule{Faults: []fault.Fault{
+				// Down for the whole observed run.
+				fault.Crash("kv0", sim.Millisecond, 100*sim.Millisecond),
+			}},
+		},
+		Nodes:  nodes, BaseID: 100, MemLimit: 8 << 20,
 		Shards: 4, Replicas: 3,
-		Faults: fault.Schedule{Faults: []fault.Fault{
-			// Down for the whole observed run.
-			fault.Crash("kv0", sim.Millisecond, 100*sim.Millisecond),
-		}},
 	}.Deploy()
 	if err != nil {
 		t.Fatal(err)

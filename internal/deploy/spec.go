@@ -1,0 +1,120 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// This file is the spec-API v2 surface: the policy fields every
+// application spec used to duplicate live in one embedded Common block,
+// every spec implements the Spec interface, and every deployment
+// implements App — so harnesses (ipipe-sim, ipipe-bench, golden replay)
+// iterate specs generically instead of switching over five concrete
+// types.
+
+// Class re-exports the traffic-class vocabulary so spec authors tag
+// tenants and requests without importing internal/qos directly.
+type Class = qos.Class
+
+// Traffic classes (see qos.Class): data is the zero value, control is
+// never dropped, telemetry is shed first.
+const (
+	ClassData      = qos.ClassData
+	ClassControl   = qos.ClassControl
+	ClassTelemetry = qos.ClassTelemetry
+)
+
+// Common is the policy block shared by every application spec,
+// embedded by value: placement, client retry, leader failover, fault
+// schedule, and the multi-tenant QoS tenancy. Zero value = the legacy
+// defaults (host placement, no retries, failover enabled with default
+// detection where the app has a failover monitor, no faults, no QoS) —
+// a spec with a zero Common deploys byte-for-byte like before the
+// block existed.
+type Common struct {
+	// Placement offloads the app's offloadable actors when OnNIC.
+	Placement Placement
+	// Retry is the suggested client policy (exposed via the deployed
+	// app; the deployment itself sends nothing).
+	Retry RetryPolicy
+	// Failover configures the leader-failover monitor on apps that have
+	// one (RKV; ignored elsewhere).
+	Failover FailoverPolicy
+	// Faults is an optional failure schedule installed at deploy time.
+	Faults fault.Schedule
+	// Tenancy enables multi-tenant QoS: priority lanes on the app's
+	// nodes, token-bucket admission on bound clients, and optionally the
+	// SLO controller. nil = QoS disabled entirely.
+	Tenancy *qos.Tenancy
+}
+
+// validate checks the block's policy fields (spec names the enclosing
+// spec type for the error).
+func (c *Common) validate(spec string) error {
+	if err := c.Tenancy.Validate(); err != nil {
+		return &ValidationError{Spec: spec, Field: "Tenancy", Reason: err.Error(), Err: err}
+	}
+	return nil
+}
+
+// Spec is a deployable application spec. All five concrete specs
+// (RKVSpec, DTSpec, RTASpec, FirewallSpec, IPSecSpec) implement it by
+// value, so harnesses hold []deploy.Spec and validate/deploy uniformly;
+// the typed Deploy methods remain for callers that need the concrete
+// deployment.
+type Spec interface {
+	// Validate checks the spec without deploying anything. Errors are
+	// *ValidationError (never a panic), so harnesses can report the
+	// offending spec and field.
+	Validate() error
+	// DeployApp validates and stands the spec up, returning the common
+	// App surface.
+	DeployApp() (App, error)
+}
+
+// App is the surface every deployed application shares.
+type App interface {
+	// AppName identifies the application kind ("rkv", "dt", "rta",
+	// "firewall", "ipsec").
+	AppName() string
+	// FaultInjector returns the installed fault injector (nil when the
+	// spec had no fault schedule).
+	FaultInjector() *fault.Injector
+	// QoSRuntime returns the installed tenancy runtime (nil when the
+	// spec had no Tenancy block).
+	QoSRuntime() *qos.Runtime
+}
+
+// ValidationError is a typed spec-validation failure.
+type ValidationError struct {
+	// Spec is the spec type ("RKVSpec", ...), Field the offending field.
+	Spec   string
+	Field  string
+	Reason string
+	// Err is the underlying cause when validation wrapped another typed
+	// error (e.g. *qos.ConfigError).
+	Err error
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("deploy: invalid %s.%s: %s", e.Spec, e.Field, e.Reason)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// installTenancy wires a spec's Tenancy block over the app's node set
+// (no-op returning nil on a nil Tenancy).
+func installTenancy(cl *core.Cluster, nodes []*core.Node, t *qos.Tenancy) (*qos.Runtime, error) {
+	return qos.Install(cl, nodes, t)
+}
+
+// BindClient attaches an app's QoS admission to a workload client; a
+// nil runtime (QoS disabled) binds nothing, so callers can wire
+// unconditionally.
+func BindClient(rt *qos.Runtime, cl *workload.Client) { rt.Bind(cl) }

@@ -85,6 +85,19 @@ type Checker struct {
 	dmoFree   uint64
 	dmoShadow map[dmoKey]int
 
+	// QoS lane conservation: every enqueued message is eventually
+	// delivered (sheds are counted separately and control sheds are
+	// violations outright).
+	laneEnqueued  uint64
+	laneDelivered uint64
+	laneShed      uint64
+
+	// QoS admission conservation: every offered request is either
+	// admitted or rejected.
+	admOffered  uint64
+	admAdmitted uint64
+	admRejected uint64
+
 	// DRR round-fairness state, per scheduler instance and core.
 	drr map[string]*drrSched
 
@@ -354,6 +367,91 @@ func (c *Checker) DMODestroy(label string, owner uint32, bytes int) {
 	delete(c.dmoShadow, k)
 }
 
+// --- QoS lanes & admission ----------------------------------------------
+
+// LaneEnqueue records a message entering a node's priority-lane queue.
+func (c *Checker) LaneEnqueue(label string, lane uint8) {
+	if c == nil {
+		return
+	}
+	_, _ = label, lane
+	c.laneEnqueued++
+}
+
+// LaneDeliver records a lane dispatch and audits strict priority:
+// higherBacklog is the total depth of strictly-higher-priority lanes at
+// dispatch time, which must be zero — a lower lane never dispatches
+// past waiting higher-lane work.
+func (c *Checker) LaneDeliver(label string, lane uint8, higherBacklog int) {
+	if c == nil {
+		return
+	}
+	c.laneDelivered++
+	c.checks++
+	if higherBacklog > 0 {
+		c.violate("lane-priority",
+			"%s: lane %d dispatched past %d queued higher-priority message(s)",
+			label, lane, higherBacklog)
+	}
+	c.checks++
+	if c.laneDelivered > c.laneEnqueued {
+		c.violate("lane-conservation",
+			"%s: delivered %d exceeds enqueued %d", label, c.laneDelivered, c.laneEnqueued)
+	}
+}
+
+// LaneShed records a watermark shed. Only the telemetry lane may shed;
+// a control-lane shed (control=true) is an outright violation of the
+// never-drop-control contract.
+func (c *Checker) LaneShed(label string, lane uint8, control bool) {
+	if c == nil {
+		return
+	}
+	c.laneShed++
+	c.checks++
+	if control {
+		c.violate("lane-control-shed",
+			"%s: control-lane message shed (lane %d); control traffic must never be dropped",
+			label, lane)
+	}
+}
+
+// AdmissionOffer records a request reaching a tenant admission gate.
+func (c *Checker) AdmissionOffer() {
+	if c == nil {
+		return
+	}
+	c.admOffered++
+}
+
+// AdmissionAdmit records an admitted request and checks outcomes never
+// exceed offers.
+func (c *Checker) AdmissionAdmit() {
+	if c == nil {
+		return
+	}
+	c.admAdmitted++
+	c.admissionBalance()
+}
+
+// AdmissionReject records a rejected request.
+func (c *Checker) AdmissionReject() {
+	if c == nil {
+		return
+	}
+	c.admRejected++
+	c.admissionBalance()
+}
+
+func (c *Checker) admissionBalance() {
+	c.checks++
+	if c.admAdmitted+c.admRejected > c.admOffered {
+		c.violate("admission-conservation",
+			"admitted %d + rejected %d exceeds offered %d",
+			c.admAdmitted, c.admRejected, c.admOffered)
+	}
+}
+
 // --- RKV leadership ------------------------------------------------------
 
 // LeaderClaim records a replica claiming leadership of a group at a
@@ -385,12 +483,14 @@ func (c *Checker) LeaderClaim(group string, ballot uint64, replica int) {
 // runs produce identical lines.
 func (c *Checker) countersLine() string {
 	return fmt.Sprintf(
-		"net=%d/%d/%d xfer=%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d",
+		"net=%d/%d/%d xfer=%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d lanes=%d/%d/%d adm=%d/%d/%d",
 		c.netInjected, c.netDelivered, c.netDropped,
 		c.netXferOut, c.netXferIn,
 		c.gateAdmitted, c.gateDelivered,
 		c.execCompleted, c.queuePushes, c.queuePops, c.drrVisits,
-		c.ringOps, c.dmoAlloc, c.dmoFree, c.leaderCount())
+		c.ringOps, c.dmoAlloc, c.dmoFree, c.leaderCount(),
+		c.laneEnqueued, c.laneDelivered, c.laneShed,
+		c.admOffered, c.admAdmitted, c.admRejected)
 }
 
 func (c *Checker) leaderCount() int {
@@ -433,6 +533,18 @@ func (c *Checker) Finish() {
 			c.violate("gate-conservation",
 				"engine drained with %d admitted packets stuck in the gate (admitted %d, delivered %d)",
 				c.gateAdmitted-c.gateDelivered, c.gateAdmitted, c.gateDelivered)
+		}
+		c.checks++
+		if c.laneEnqueued != c.laneDelivered {
+			c.violate("lane-conservation",
+				"engine drained with %d messages stuck in priority lanes (enqueued %d, delivered %d)",
+				c.laneEnqueued-c.laneDelivered, c.laneEnqueued, c.laneDelivered)
+		}
+		c.checks++
+		if c.admOffered != c.admAdmitted+c.admRejected {
+			c.violate("admission-conservation",
+				"engine drained with %d offered requests unresolved (offered %d, admitted %d, rejected %d)",
+				c.admOffered-c.admAdmitted-c.admRejected, c.admOffered, c.admAdmitted, c.admRejected)
 		}
 	}
 	c.epochs = append(c.epochs,

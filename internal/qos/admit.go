@@ -1,0 +1,109 @@
+package qos
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// bucket is a deterministic token bucket refilled on virtual time.
+type bucket struct {
+	rate   float64 // tokens per virtual second
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+func (b *bucket) take(now sim.Time) bool {
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Gate is one client edge's admission controller: a token bucket per
+// tenant, consulted by workload.Client before a request is sent.
+// Control-class requests always pass (admission must never starve the
+// control plane). Each Gate lives on one client's engine partition, so
+// partitioned clusters race-freely run one gate per client; the Runtime
+// aggregates the per-gate counters after the run.
+type Gate struct {
+	tenants []Tenant
+	buckets []bucket
+	chk     *invariant.Checker
+	ctl     *Controller
+
+	// Per-tenant counters, indexed like Tenancy.Tenants.
+	Offered  []uint64
+	Admitted []uint64
+	Rejected []uint64
+}
+
+// newGate builds a gate from the resolved tenant table. chk and ctl may
+// be nil.
+func newGate(tenants []Tenant, chk *invariant.Checker, ctl *Controller) *Gate {
+	g := &Gate{
+		tenants:  tenants,
+		buckets:  make([]bucket, len(tenants)),
+		chk:      chk,
+		ctl:      ctl,
+		Offered:  make([]uint64, len(tenants)),
+		Admitted: make([]uint64, len(tenants)),
+		Rejected: make([]uint64, len(tenants)),
+	}
+	for i, t := range tenants {
+		burst := t.Burst
+		if burst <= 0 {
+			burst = DefaultBurst
+		}
+		g.buckets[i] = bucket{rate: t.RatePerSec, burst: burst, tokens: burst}
+	}
+	return g
+}
+
+// Admit implements workload.QoSHook: charge one request against the
+// tenant's bucket. Unknown tenants (beyond the table) are admitted —
+// untagged legacy traffic is unconstrained.
+func (g *Gate) Admit(tenant uint16, class uint8, now sim.Time) bool {
+	if int(tenant) >= len(g.buckets) {
+		return true
+	}
+	g.Offered[tenant]++
+	g.chk.AdmissionOffer()
+	if Class(class) == ClassControl || g.buckets[tenant].take(now) {
+		g.Admitted[tenant]++
+		g.chk.AdmissionAdmit()
+		return true
+	}
+	g.Rejected[tenant]++
+	g.chk.AdmissionReject()
+	return false
+}
+
+// Latency implements workload.QoSHook: feed one response latency into
+// the SLO controller's per-tenant EWMA.
+func (g *Gate) Latency(tenant uint16, class uint8, us float64) {
+	if g.ctl != nil {
+		g.ctl.Observe(tenant, us)
+	}
+	_ = class
+}
+
+// RegisterMetrics exposes the gate's per-tenant admission counters.
+func (g *Gate) RegisterMetrics(reg *obs.Registry) {
+	for i := range g.tenants {
+		i := i
+		name := g.tenants[i].Name
+		reg.Counter(name+"_offered", func() uint64 { return g.Offered[i] })
+		reg.Counter(name+"_admitted", func() uint64 { return g.Admitted[i] })
+		reg.Counter(name+"_rejected", func() uint64 { return g.Rejected[i] })
+	}
+}

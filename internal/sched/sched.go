@@ -245,6 +245,25 @@ func New(eng *sim.Engine, cfg Config, hooks Hooks) *Scheduler {
 	return s
 }
 
+// Thresholds returns the current sojourn-time migration thresholds
+// (TailThresh, MeanThresh) in microseconds.
+func (s *Scheduler) Thresholds() (tailUs, meanUs float64) {
+	return s.cfg.TailThresh, s.cfg.MeanThresh
+}
+
+// SetThresholds retunes the §3.2.3 migration thresholds at runtime —
+// the knob an SLO control loop turns to make the EWMA tail signal fire
+// earlier (tighter thresholds shed NIC load to the host sooner). A zero
+// argument keeps the corresponding threshold unchanged.
+func (s *Scheduler) SetThresholds(tailUs, meanUs float64) {
+	if tailUs > 0 {
+		s.cfg.TailThresh = tailUs
+	}
+	if meanUs > 0 {
+		s.cfg.MeanThresh = meanUs
+	}
+}
+
 // EnableInvariants attaches the runtime checker: the ingress queue gets
 // a per-flow FIFO audit, DRR runnable-queue membership and cursor
 // visits are tracked for round fairness, and each monitor tick

@@ -22,6 +22,8 @@ type Client struct {
 	Name string
 	eng  *sim.Engine
 	net  *netsim.Network
+	part int
+	qos  QoSHook
 
 	// Lat collects end-to-end response latencies in microseconds.
 	Lat *stats.Sample
@@ -30,6 +32,20 @@ type Client struct {
 	Sent     uint64
 	Received uint64
 	Retried  uint64
+	// Rejected counts requests refused by the QoS admission hook before
+	// reaching the wire (they are not counted in Sent).
+	Rejected uint64
+}
+
+// QoSHook lets a multi-tenant QoS layer (internal/qos) gate and observe
+// client traffic without this package importing it. Both methods run on
+// the client's engine.
+type QoSHook interface {
+	// Admit charges one request against the tenant's budget at virtual
+	// time now; returning false rejects the send.
+	Admit(tenant uint16, class uint8, now sim.Time) bool
+	// Latency observes one end-to-end response latency in microseconds.
+	Latency(tenant uint16, class uint8, us float64)
 }
 
 // NewClient attaches a client node with the given link speed.
@@ -47,7 +63,7 @@ func NewClientAt(c *core.Cluster, name string, gbps float64, part int) *Client {
 	if c.Group != nil {
 		eng = c.Group.Engine(part)
 	}
-	cl := &Client{Name: name, eng: eng, net: c.Net, Lat: stats.NewSample()}
+	cl := &Client{Name: name, eng: eng, net: c.Net, part: part, Lat: stats.NewSample()}
 	c.Net.AttachOn(name, gbps, netsim.HandlerFunc(cl.deliver), part)
 	return cl
 }
@@ -55,6 +71,13 @@ func NewClientAt(c *core.Cluster, name string, gbps float64, part int) *Client {
 // Eng returns the engine the client's events run on (the partition
 // engine for clients attached with NewClientAt).
 func (cl *Client) Eng() *sim.Engine { return cl.eng }
+
+// Part returns the engine partition the client was attached to.
+func (cl *Client) Part() int { return cl.part }
+
+// SetQoS installs the admission/latency hook consulted on every Send
+// (nil removes it). Install before driving load.
+func (cl *Client) SetQoS(h QoSHook) { cl.qos = h }
 
 func (cl *Client) deliver(pkt *netsim.Packet) {
 	if env, ok := pkt.Payload.(core.RespEnvelope); ok {
@@ -87,6 +110,12 @@ type Request struct {
 	// OnGiveUp, if set, fires when the final attempt also times out —
 	// the request is then lost from the client's point of view.
 	OnGiveUp func()
+	// Tenant and Class tag the request for multi-tenant QoS: Tenant
+	// indexes the deployment's tenant table for token-bucket admission,
+	// Class (a qos.Class value) picks the server-side priority lane.
+	// Zero values reproduce the legacy untagged behavior.
+	Tenant uint16
+	Class  uint8
 }
 
 // Send issues one request now. The response latency is recorded in Lat
@@ -101,6 +130,16 @@ func (cl *Client) Send(r Request) { cl.send(r, nil) }
 // always re-send as plain packets, so retry latency is never inflated
 // by a second batching window.
 func (cl *Client) send(r Request, stage func(m actor.Msg, size int)) {
+	// Admission control happens once, at initial send time; timeout
+	// retries of an admitted request are recovery traffic and are not
+	// re-charged.
+	if cl.qos != nil && !cl.qos.Admit(r.Tenant, r.Class, cl.eng.Now()) {
+		cl.Rejected++
+		if r.OnGiveUp != nil {
+			r.OnGiveUp()
+		}
+		return
+	}
 	size := r.Size
 	if size == 0 {
 		size = len(r.Data) + 48
@@ -120,7 +159,11 @@ func (cl *Client) send(r Request, stage func(m actor.Msg, size int)) {
 		}
 		done = true
 		cl.Received++
-		cl.Lat.Observe((cl.eng.Now() - sentAt).Micros())
+		us := (cl.eng.Now() - sentAt).Micros()
+		cl.Lat.Observe(us)
+		if cl.qos != nil {
+			cl.qos.Latency(r.Tenant, r.Class, us)
+		}
 		if r.OnResp != nil {
 			r.OnResp(resp)
 		}
@@ -133,6 +176,8 @@ func (cl *Client) send(r Request, stage func(m actor.Msg, size int)) {
 			FlowID: r.FlowID,
 			Origin: cl.Name,
 			Reply:  reply,
+			Tenant: r.Tenant,
+			Class:  r.Class,
 		}
 		if attempt == 0 && stage != nil {
 			stage(m, size)

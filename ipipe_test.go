@@ -46,7 +46,10 @@ func TestFacadeRKV(t *testing.T) {
 			Name: fmt.Sprintf("kv%d", i), NIC: ipipe.LiquidIOII_CN2350(),
 		}))
 	}
-	d, err := ipipe.DeployRKV(nodes, 100, 1<<20, true)
+	d, err := ipipe.RKVSpec{
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Nodes:  nodes, BaseID: 100, MemLimit: 1 << 20,
+	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +76,14 @@ func TestFacadeDT(t *testing.T) {
 	cl := ipipe.NewCluster(3)
 	coord := cl.AddNode(ipipe.NodeConfig{Name: "coord", NIC: ipipe.LiquidIOII_CN2350()})
 	p1 := cl.AddNode(ipipe.NodeConfig{Name: "p1", NIC: ipipe.LiquidIOII_CN2350()})
-	c, stores, err := ipipe.DeployDT(coord, []*ipipe.Node{p1}, 100, true)
+	dt, err := ipipe.DTSpec{
+		Common:      ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Coordinator: coord, Participants: []*ipipe.Node{p1}, BaseID: 100,
+	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
 	}
+	c, stores := dt.Coord, dt.Stores
 	client := ipipe.NewClient(cl, "cli", 10)
 	var outcome ipipe.DTOutcome
 	txn := ipipe.DTTxn{Writes: []ipipe.DTOp{{Key: []byte("x"), Value: []byte("1")}}}
@@ -98,15 +105,26 @@ func TestFacadeRTAAndNF(t *testing.T) {
 	cl := ipipe.NewCluster(4)
 	n := cl.AddNode(ipipe.NodeConfig{Name: "w", NIC: ipipe.LiquidIOII_CN2350()})
 	var top []ipipe.RTAEntry
-	topo, err := ipipe.DeployRTA(n, n, 10, []string{"bad"}, 3, true,
-		func(t []ipipe.RTAEntry) { top = t })
+	rta, err := ipipe.RTASpec{
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Node:   n, Aggregator: n, BaseID: 10,
+		Discard: []string{"bad"}, TopN: 3,
+		OnUpdate: func(t []ipipe.RTAEntry) { top = t },
+	}.Deploy()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ipipe.DeployFirewall(n, 50, ipipe.UniformFirewallRules(64), true); err != nil {
+	topo := rta.Topology
+	if _, err := (ipipe.FirewallSpec{
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Node:   n, ID: 50, Rules: ipipe.UniformFirewallRules(64),
+	}).Deploy(); err != nil {
 		t.Fatal(err)
 	}
-	if err := ipipe.DeployIPSec(n, 51, make([]byte, 32), []byte("k"), true); err != nil {
+	if _, err := (ipipe.IPSecSpec{
+		Common: ipipe.DeployCommon{Placement: ipipe.OnNIC},
+		Node:   n, ID: 51, Key: make([]byte, 32), MACKey: []byte("k"),
+	}).Deploy(); err != nil {
 		t.Fatal(err)
 	}
 	client := ipipe.NewClient(cl, "cli", 10)
