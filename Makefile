@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline qos-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke fault-pdes-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline qos-smoke
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,10 @@ vet:
 # code exercised from parallel sweeps, the PDES partition sync path
 # (sim.Group windows, netsim cross-partition handoff, the mesh scale
 # topology), the sharded tracer/collector emitting from parallel
-# partition windows, and the QoS lane/admission path running one
-# LaneSched and Gate per partition under window-parallel execution.
+# partition windows, the QoS lane/admission path running one LaneSched
+# and Gate per partition under window-parallel execution, and the
+# window-boundary barrier-action path (sim.Group.AtBarrier) that runs
+# cluster-wide fault arms between conservative windows.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
@@ -46,6 +48,18 @@ fault-smoke:
 	@grep -q '"crash kv0"' /tmp/ipipe-fault-smoke.json || \
 		{ echo "fault-smoke: no fault span in trace" >&2; exit 1; }
 	@echo "fault-smoke: fault spans present"
+
+# fault-pdes-smoke: golden-replay the faulted partitioned mesh along
+# the PDES axis — every fault arm (barrier arms at window boundaries,
+# local arms on owning engines) at 2 and 4 partitions, serial window
+# merge vs parallel window execution; the per-partition invariant
+# fingerprints must match byte-for-byte.
+fault-pdes-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 2 -parallel 2 \
+		faults-pdes
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 4 -parallel 4 \
+		faults-pdes
+	@echo "fault-pdes-smoke: ok"
 
 # scale-smoke: run the sharded scale-out sweeps end to end (router,
 # multi-group deployment, client batching) in quick mode.
@@ -123,7 +137,7 @@ obs-baseline:
 
 # check: the CI step — static analysis, the race suite, and the
 # observability and invariant smoke tests.
-check: vet race trace-smoke fault-smoke scale-smoke invariant-smoke pdes-smoke qos-smoke obs-smoke obs-gate
+check: vet race trace-smoke fault-smoke fault-pdes-smoke scale-smoke invariant-smoke pdes-smoke qos-smoke obs-smoke obs-gate
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -11,6 +11,8 @@ package actor
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -298,25 +300,61 @@ type Ref struct {
 	OnNIC bool
 }
 
-// Table is the actor table shared by a deployment's runtimes.
+// Table is the actor table shared by a deployment's runtimes. It is
+// copy-on-write: Lookup/Len read an immutable snapshot through an
+// atomic pointer, while writers clone the map under a mutex and swap
+// the pointer. Reads therefore never block and never race, which is
+// what lets a partitioned (PDES) run keep the table shared while
+// fault arms rewrite placements (NIC-down re-homing, watchdog kills)
+// on one partition: remote partitions only ever consume the immutable
+// Node field of a Ref, so a read that lands on either side of a swap
+// is equally correct. Writes are rare (registration, failures, kills)
+// next to per-message lookups, so the clone cost is irrelevant.
 type Table struct {
-	refs map[ID]Ref
+	refs atomic.Pointer[map[ID]Ref]
+	mu   sync.Mutex // serializes writers
 }
 
 // NewTable returns an empty actor table.
-func NewTable() *Table { return &Table{refs: map[ID]Ref{}} }
+func NewTable() *Table {
+	t := &Table{}
+	m := map[ID]Ref{}
+	t.refs.Store(&m)
+	return t
+}
 
 // Set records an actor's location.
-func (t *Table) Set(id ID, ref Ref) { t.refs[id] = ref }
+func (t *Table) Set(id ID, ref Ref) {
+	t.mu.Lock()
+	old := *t.refs.Load()
+	m := make(map[ID]Ref, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[id] = ref
+	t.refs.Store(&m)
+	t.mu.Unlock()
+}
 
 // Lookup finds an actor's location.
 func (t *Table) Lookup(id ID) (Ref, bool) {
-	r, ok := t.refs[id]
+	r, ok := (*t.refs.Load())[id]
 	return r, ok
 }
 
 // Delete removes an actor (deregistration).
-func (t *Table) Delete(id ID) { delete(t.refs, id) }
+func (t *Table) Delete(id ID) {
+	t.mu.Lock()
+	old := *t.refs.Load()
+	m := make(map[ID]Ref, len(old))
+	for k, v := range old {
+		if k != id {
+			m[k] = v
+		}
+	}
+	t.refs.Store(&m)
+	t.mu.Unlock()
+}
 
 // Len reports the number of registered actors.
-func (t *Table) Len() int { return len(t.refs) }
+func (t *Table) Len() int { return len(*t.refs.Load()) }

@@ -109,16 +109,21 @@ func (p *rkvProbe) attempt(i uint64, data []byte, isWrite bool, target, attempt 
 	p.eng.After(timeout, func() { rotate(&p.retries) })
 }
 
-// grow applies the policy's backoff to a timeout.
+// grow applies the policy's backoff to a timeout, clamped like
+// workload.Client: an uncapped policy still saturates at the sane
+// ceiling rather than overflowing sim.Time into a negative wait.
 func (p *rkvProbe) grow(t sim.Time) sim.Time {
 	if p.retry.Backoff <= 1 {
 		return t
 	}
-	next := sim.Time(float64(t) * p.retry.Backoff)
-	if p.retry.MaxTimeout > 0 && next > p.retry.MaxTimeout {
-		next = p.retry.MaxTimeout
+	ceil := p.retry.MaxTimeout
+	if ceil <= 0 {
+		ceil = workload.MaxUncappedTimeout
 	}
-	return next
+	if f := float64(t) * p.retry.Backoff; f < float64(ceil) {
+		return sim.Time(f)
+	}
+	return ceil
 }
 
 // availability returns the completed fraction in percent.
@@ -220,10 +225,10 @@ func faultsAvailability(opts Options) *Result {
 			})
 		}
 		cl.Eng.Run()
-		return outcome{probe: p, elections: d.Elections, injected: d.Injector.Injected, logLines: len(d.Injector.Log())}
+		return outcome{probe: p, elections: d.Elections, injected: d.Injector.Injected(), logLines: len(d.Injector.Log())}
 	})
 
-	r := &Result{Header: []string{"placement", "issued", "completed", "avail(%)", "gave-up", "retries", "redirects", "elections", "faults"}}
+	r := &Result{Header: []string{"placement", "issued", "completed", "avail(%)", "rejected", "gave-up", "retries", "redirects", "elections", "faults"}}
 	for mi, onNIC := range modes {
 		o := outs[mi]
 		placement := "host"
@@ -232,9 +237,10 @@ func faultsAvailability(opts Options) *Result {
 		}
 		r.Add(placement, o.probe.issued, o.probe.completed,
 			fmt.Sprintf("%.2f", o.probe.availability()),
-			o.probe.gaveUp, o.probe.retries, o.probe.redirects, o.elections, o.injected)
+			0, o.probe.gaveUp, o.probe.retries, o.probe.redirects, o.elections, o.injected)
 	}
 	r.Note("schedule: follower crash, leader crash (failover), 25%% loss window, 3x overload burst; %d log lines per run", outs[0].logLines)
+	r.Note("accounting: avail(%%) = completed/issued; rejected counts edge-shed (admission-denied) requests, which are never in issued — this family runs without admission gates, so it is structurally 0 (see workload.Client accounting contract)")
 	r.Note("target: >=99%% completion — client-side rotation + backoff must ride out every window")
 	return r
 }

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The faults-pdes / qos-storm-pdes experiments certify the
+// window-boundary fault path: a partitioned (PDES) echo mesh takes the
+// full fault-arm matrix — cluster-wide barrier arms (crash, loss, flap,
+// partition cut) running as sim.Group.AtBarrier actions, partition-local
+// arms (NIC-down, overload, accelerator stall) on their owning engines —
+// while retrying clients ride out the windows. Every column is
+// deterministic and byte-identical at any window worker count, which is
+// what `make fault-pdes-smoke` replays along the PDES axis.
+
+func init() {
+	register("faults-pdes", "Every fault arm on a partitioned (PDES) echo mesh: barrier arms at window boundaries, local arms on owning engines", faultsPDES)
+	register("qos-storm-pdes", "Tenant storm + fault storm on the partitioned lane mesh: admission and lanes under window-boundary faults", qosStormPDES)
+}
+
+// pdesMeshSize resolves the mesh geometry shared by the PDES fault
+// experiments: node count from quick mode, partition count from -pdes
+// (default 4), clamped to the node count.
+func pdesMeshSize(opts Options) (nodes, parts int, window sim.Time) {
+	nodes, window = 12, 6*sim.Millisecond
+	if opts.Quick {
+		nodes, window = 8, 3*sim.Millisecond
+	}
+	parts = opts.PDESParts
+	if parts <= 0 {
+		parts = 4
+	}
+	if parts > nodes {
+		parts = nodes
+	}
+	return nodes, parts, window
+}
+
+// buildPDESMesh creates the partitioned echo mesh: one NIC-pinned echo
+// actor per node (ID 1+i), one client per node on the node's partition.
+func buildPDESMesh(opts Options, nodes, parts int) (*core.Cluster, []*core.Node, []*workload.Client) {
+	cl := core.NewPartitionedCluster(opts.seed(), parts)
+	cl.SetPDESWorkers(opts.PDESWorkers)
+	var nn []*core.Node
+	for i := 0; i < nodes; i++ {
+		n := cl.AddNode(core.Config{
+			Name: fmt.Sprintf("n%03d", i), NIC: spec.LiquidIOII_CN2350(),
+			LinkGbps: 10, DisableMigration: true,
+		})
+		a := &actor.Actor{
+			ID: actor.ID(1 + i), Name: fmt.Sprintf("svc%03d", i), PinNIC: true,
+			OnMessage: func(ctx actor.Ctx, m actor.Msg) sim.Time {
+				ctx.Reply(m)
+				return sim.Microsecond
+			},
+		}
+		if err := n.Register(a, true, 1<<20); err != nil {
+			panic(err)
+		}
+		nn = append(nn, n)
+	}
+	clients := make([]*workload.Client, nodes)
+	for i := 0; i < nodes; i++ {
+		clients[i] = workload.NewClientAt(cl, fmt.Sprintf("c%03d", i), 10, nn[i].Part)
+	}
+	return cl, nn, clients
+}
+
+// pdesFaultSchedule covers every arm class, scaled to the run window:
+// four barrier arms (two crashes — one jittered — a loss window, a flap,
+// a partition cut) and three partition-local arms (overload, accel
+// stall, NIC-down). All windows close before the run ends.
+func pdesFaultSchedule(window sim.Time) fault.Schedule {
+	w := float64(window)
+	at := func(f float64) sim.Time { return sim.Time(w * f) }
+	return fault.Schedule{Faults: []fault.Fault{
+		fault.Crash("n000", at(0.15), at(0.12)),
+		fault.Loss("n003", at(0.20), at(0.15), 0.5),
+		fault.Flap("n004", at(0.40), at(0.15), at(0.05)),
+		fault.Cut(at(0.60), at(0.12), "n000", "n001"),
+		fault.Overload("n002", at(0.25), at(0.15), 4),
+		fault.Stall("n005", "CRC", at(0.30), at(0.10)),
+		fault.NICFail("n001", at(0.15), at(0.15)),
+		{Kind: fault.NodeCrash, Node: "n006", At: at(0.70), Dur: at(0.10),
+			Jitter: at(0.05)},
+	}}
+}
+
+func faultsPDES(opts Options) *Result {
+	nodes, parts, window := pdesMeshSize(opts)
+
+	type outcome struct {
+		nodes, parts             int
+		sent, answered, rejected uint64
+		retried, gaveUp          uint64
+		p50, p99                 float64
+		injected, activeEnd      int
+		logLines                 int
+		rounds, crossed          uint64
+	}
+	outs := sweepMap(opts, 1, func(int) outcome {
+		cl, nn, clients := buildPDESMesh(opts, nodes, parts)
+		in, err := fault.Install(cl, pdesFaultSchedule(window))
+		if err != nil {
+			panic(err)
+		}
+
+		// gaveUp[i] is written only by client i's partition engine.
+		gaveUp := make([]uint64, nodes)
+		for i := 0; i < nodes; i++ {
+			i := i
+			c := clients[i]
+			dst := (i + 1) % nodes
+			every(c.Eng(), 0, window, 10*sim.Microsecond, func(k uint64) {
+				gi := i
+				c.Send(workload.Request{
+					Node: fmt.Sprintf("n%03d", dst), Dst: actor.ID(1 + dst),
+					Size: 256, FlowID: uint64(i)<<32 | k,
+					// Retry rides out the fault windows; MaxTimeout 0
+					// exercises the uncapped-backoff clamp.
+					Timeout: 100 * sim.Microsecond, Retries: 4, Backoff: 2,
+					OnGiveUp: func() { gaveUp[gi]++ },
+				})
+			})
+		}
+		cl.RunUntil(window + sim.Millisecond) // drain room for late retries
+		_ = nn
+
+		o := outcome{nodes: nodes, parts: parts,
+			injected: in.Injected(), activeEnd: in.Active(), logLines: len(in.Log())}
+		lat := stats.NewSample()
+		for i, c := range clients { // fixed order: deterministic merge
+			o.sent += c.Sent
+			o.answered += c.Received
+			o.rejected += c.Rejected
+			o.retried += c.Retried
+			o.gaveUp += gaveUp[i]
+			lat.Merge(c.Lat)
+		}
+		o.p50, o.p99 = lat.Percentile(50), lat.Percentile(99)
+		if cl.Group != nil {
+			o.rounds, o.crossed = cl.Group.Rounds(), cl.Group.Crossed()
+		}
+		return o
+	})
+	o := outs[0]
+
+	r := &Result{Header: []string{"metric", "value"}}
+	r.Add("nodes x partitions", fmt.Sprintf("%dx%d", o.nodes, o.parts))
+	r.Add("requests sent/answered", fmt.Sprintf("%d/%d", o.sent, o.answered))
+	r.Add("rejected (edge-shed)", o.rejected)
+	r.Add("retried/gave-up", fmt.Sprintf("%d/%d", o.retried, o.gaveUp))
+	r.Add("latency p50/p99 (us)", fmt.Sprintf("%.2f/%.2f", o.p50, o.p99))
+	r.Add("faults injected/active-at-end", fmt.Sprintf("%d/%d", o.injected, o.activeEnd))
+	r.Add("fault log lines", o.logLines)
+	r.Add("windows/crossed", fmt.Sprintf("%d/%d", o.rounds, o.crossed))
+	r.Note("schedule: crash n000+n006(jittered), nic-down n001, 4x overload n002, 50%% loss n003, flap n004, CRC stall n005, cut [n000 n001]")
+	r.Note("barrier arms mutate shared state between conservative windows (sim.Group.AtBarrier); local arms run on the owning partition engine")
+	r.Note("accounting: rejected counts admission-denied requests (never sent); this mesh has no gates, so it is structurally 0")
+	return r
+}
+
+// qosStormPDES is the qos-storm variant on the partitioned lane mesh:
+// token-bucket admission and priority lanes (no SLO controller — it is
+// classic-only) under a fault storm of barrier and local arms. The
+// client-edge accounting rows make the Sent/Rejected contract visible.
+func qosStormPDES(opts Options) *Result {
+	nodes, parts, window := pdesMeshSize(opts)
+
+	type outcome struct {
+		nodes, parts                int
+		sent, answered              uint64
+		cliRejected                 uint64
+		offered, admitted, rejected [2]uint64
+		enq, del, shed              [qos.NumLanes]uint64
+		backpressured               uint64
+		injected                    int
+		logLines                    int
+		rounds                      uint64
+	}
+	outs := sweepMap(opts, 1, func(int) outcome {
+		cl, nn, clients := buildPDESMesh(opts, nodes, parts)
+		rt, err := qos.Install(cl, nn, &qos.Tenancy{
+			Tenants: []qos.Tenant{
+				{Name: "even", RatePerSec: 250_000, Burst: 64},
+				{Name: "odd", RatePerSec: 100_000, Burst: 64},
+			},
+			Lanes: qos.LaneConfig{DataCap: 32, TelemetryCap: 8, DispatchCost: 300 * sim.Nanosecond},
+		})
+		if err != nil {
+			panic(err)
+		}
+		in, err := fault.Install(cl, pdesFaultSchedule(window))
+		if err != nil {
+			panic(err)
+		}
+
+		for i := 0; i < nodes; i++ {
+			i := i
+			c := clients[i]
+			rt.Bind(c)
+			tenant := uint16(i % 2)
+			dst := (i + 1) % nodes
+			// Even clients stay under budget; odd clients offer ~2.7x
+			// theirs, so their gates shed at the edge while faults churn
+			// the mesh underneath.
+			interval := 5 * sim.Microsecond
+			if tenant == 1 {
+				interval = 3700 * sim.Nanosecond
+			}
+			every(c.Eng(), 0, window, interval, func(k uint64) {
+				c.Send(workload.Request{
+					Node: fmt.Sprintf("n%03d", dst), Dst: actor.ID(1 + dst),
+					Size: 256, FlowID: uint64(i)<<32 | k, Tenant: tenant,
+				})
+			})
+		}
+		cl.RunUntil(window)
+
+		o := outcome{nodes: nodes, parts: parts,
+			injected: in.Injected(), logLines: len(in.Log())}
+		for _, c := range clients {
+			o.sent += c.Sent
+			o.answered += c.Received
+			o.cliRejected += c.Rejected
+		}
+		for t := 0; t < 2; t++ {
+			o.offered[t] = rt.OfferedTo(t)
+			o.admitted[t] = rt.AdmittedTo(t)
+			o.rejected[t] = rt.RejectedTo(t)
+		}
+		o.enq, o.del, o.shed, o.backpressured = rt.LaneTotals()
+		if cl.Group != nil {
+			o.rounds = cl.Group.Rounds()
+		}
+		return o
+	})
+	o := outs[0]
+
+	r := &Result{Header: []string{"metric", "value"}}
+	r.Add("nodes x partitions", fmt.Sprintf("%dx%d", o.nodes, o.parts))
+	r.Add("client edge sent/rejected/offered", fmt.Sprintf("%d/%d/%d",
+		o.sent, o.cliRejected, o.sent+o.cliRejected))
+	r.Add("requests answered", o.answered)
+	for t, name := range []string{"even", "odd"} {
+		r.Add(name+" offered/admitted/rejected",
+			fmt.Sprintf("%d/%d/%d", o.offered[t], o.admitted[t], o.rejected[t]))
+	}
+	for l := qos.Lane(0); l < qos.NumLanes; l++ {
+		r.Add(l.String()+" enq/del/shed",
+			fmt.Sprintf("%d/%d/%d", o.enq[l], o.del[l], o.shed[l]))
+	}
+	r.Add("data backpressured", o.backpressured)
+	r.Add("faults injected", o.injected)
+	r.Add("fault log lines", o.logLines)
+	r.Add("windows", o.rounds)
+	r.Note("accounting: edge sent excludes admission-denied requests; offered = sent + rejected (workload.Client contract), and the gate ledger's rejected matches the client edge")
+	r.Note("fault storm: the full faults-pdes arm matrix on the same mesh; the SLO controller stays off (classic-only)")
+	return r
+}

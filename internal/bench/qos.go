@@ -34,7 +34,9 @@ func init() {
 
 // QoSExperimentIDs is the qos experiment family, for the -qos CLI axis
 // and the QoS golden replay.
-func QoSExperimentIDs() []string { return []string{"qos-storm", "qos-skew", "qos-lanes"} }
+func QoSExperimentIDs() []string {
+	return []string{"qos-storm", "qos-skew", "qos-lanes", "qos-storm-pdes"}
+}
 
 // qosTenantNames index the storm/skew tenant tables.
 const (
@@ -120,6 +122,10 @@ type qosStormOutcome struct {
 	offered, admitted, rejected [3]uint64
 	enq, del, shed              [qos.NumLanes]uint64
 	backpressured               uint64
+
+	// Client-edge accounting (workload.Client contract): sent excludes
+	// admission-denied requests, which land in cliRejected instead.
+	cliSent, cliRejected uint64
 
 	ctlSent, ctlAnswered uint64
 	ticks, shrinks       uint64
@@ -266,6 +272,10 @@ func qosStormRun(opts Options) qosStormOutcome {
 			o.admitted[t] = d.QoS.AdmittedTo(t)
 			o.rejected[t] = d.QoS.RejectedTo(t)
 		}
+		for _, c := range []*workload.Client{prod, batch, noisy, infra} {
+			o.cliSent += c.Sent
+			o.cliRejected += c.Rejected
+		}
 		o.enq, o.del, o.shed, o.backpressured = d.QoS.LaneTotals()
 		ctl := d.QoS.Controller
 		o.ticks, o.shrinks, o.tightens, o.reshards = ctl.Ticks, ctl.BatchShrinks, ctl.ThreshTightens, ctl.Reshards
@@ -293,6 +303,8 @@ func qosStorm(opts Options) *Result {
 			fmt.Sprintf("%d/%d/%d", o.enq[l], o.del[l], o.shed[l]))
 	}
 	r.Add("data backpressured", o.backpressured)
+	r.Add("client edge sent/rejected/offered", fmt.Sprintf("%d/%d/%d",
+		o.cliSent, o.cliRejected, o.cliSent+o.cliRejected))
 	r.Add("control probes sent/answered", fmt.Sprintf("%d/%d", o.ctlSent, o.ctlAnswered))
 	r.Add("controller ticks", o.ticks)
 	r.Add("controller actions (shrink/tighten/reshard)",
@@ -301,6 +313,7 @@ func qosStorm(opts Options) *Result {
 	r.Note("storm %.1f-%.1fms: shard-3 leader crash, 25%% loss on kv1, 16x overload on every survivor; noisy tenant offers 4x its budget at shard 0",
 		o.stormStart.Seconds()*1e3, o.stormEnd.Seconds()*1e3)
 	r.Note("contract: prod p99 holds its SLO outside the storm, control is never shed, telemetry sheds absorb the flood")
+	r.Note("accounting: edge sent excludes admission-denied requests (Rejected, never Sent); offered = sent + rejected, matching the gates' per-tenant ledger")
 	return r
 }
 

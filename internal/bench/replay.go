@@ -61,15 +61,17 @@ func (r *ReplayReport) Fprint(w io.Writer) {
 // parallel sweep does not fix — cannot affect the comparison).
 func checkedRun(id, tag string, opts Options) (fingerprint string, violations []string, clusters int, checks uint64, err error) {
 	var mu sync.Mutex
-	var chks []*invariant.Checker
+	var byCluster [][]*invariant.Checker
 	core.SetDefaultObserver(func(c *core.Cluster) {
 		// One checker per engine partition: a partitioned cluster's
 		// conservation ledgers live at partition granularity (handoff
 		// counters reconcile the cross-partition packets); a classic
-		// cluster gets the usual single checker.
+		// cluster gets the usual single checker. Grouping per cluster
+		// lets the post-run cross-partition reconciliation below sum one
+		// cluster's ledgers without mixing clusters from a sweep.
 		cchks := c.AttachCheckers()
 		mu.Lock()
-		chks = append(chks, cchks...)
+		byCluster = append(byCluster, cchks)
 		mu.Unlock()
 	})
 	_, err = Run(id, opts)
@@ -77,16 +79,23 @@ func checkedRun(id, tag string, opts Options) (fingerprint string, violations []
 	if err != nil {
 		return "", nil, 0, 0, err
 	}
-	fps := make([]string, 0, len(chks))
-	for _, chk := range chks {
-		chk.Finish()
-		checks += chk.Checks()
-		for _, v := range chk.Violations() {
-			violations = append(violations, fmt.Sprintf("%s %s: %s", id, tag, v.String()))
+	var fps []string
+	for _, cchks := range byCluster {
+		// Cross-partition handoff reconciliation: after a drained run,
+		// one cluster's outbound and inbound handoff ledgers must agree
+		// (skipped automatically when events are still pending).
+		invariant.CrossCheckHandoffs(cchks)
+		for _, chk := range cchks {
+			chk.Finish()
+			checks += chk.Checks()
+			for _, v := range chk.Violations() {
+				violations = append(violations, fmt.Sprintf("%s %s: %s", id, tag, v.String()))
+			}
+			fps = append(fps, chk.Fingerprint())
 		}
-		fps = append(fps, chk.Fingerprint())
+		clusters += len(cchks)
 	}
-	return invariant.SortFingerprints(fps), violations, len(chks), checks, nil
+	return invariant.SortFingerprints(fps), violations, clusters, checks, nil
 }
 
 // GoldenReplay runs each experiment id at two seeds (opts.Seed and

@@ -6,11 +6,13 @@ import (
 )
 
 // TestGoldenReplaySubset is the tier-1 slice of the golden-replay
-// harness: a fault-schedule experiment (epoch fingerprints) and a
-// multi-cluster sweep, quick mode, serial vs parallel. The full
-// registry runs under `make invariant-smoke` / `ipipe-bench -check`.
+// harness: a fault-schedule experiment (epoch fingerprints), a
+// multi-cluster sweep, and the faulted-PDES mesh (window-boundary
+// barrier arms + partition-local arms), quick mode, serial vs parallel.
+// The full registry runs under `make invariant-smoke` / `ipipe-bench
+// -check`.
 func TestGoldenReplaySubset(t *testing.T) {
-	rep, err := GoldenReplay([]string{"faults-availability", "fig17"}, Options{Quick: true}, 4)
+	rep, err := GoldenReplay([]string{"faults-availability", "fig17", "faults-pdes"}, Options{Quick: true}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

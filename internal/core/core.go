@@ -69,6 +69,13 @@ type Cluster struct {
 	pdesWorkers int
 	nextPart    int
 
+	// pendingKills defers watchdog kills on partitioned clusters to the
+	// next window boundary: entry p is appended only by partition p's
+	// window goroutine and drained by the coordinator's OnRound hook in
+	// partition order, so the shared-table rewrite never races a live
+	// window and lands identically at any worker count.
+	pendingKills [][]pendingKill
+
 	tracer    *obs.Tracer
 	collector *obs.Collector
 	obsPrefix string
@@ -107,14 +114,19 @@ func NewCluster(seed uint64) *Cluster {
 //
 // Partitioned nodes must set Config.DisableMigration: placement changes
 // rewrite the shared actor table, which partitions read concurrently.
-// The per-invocation watchdog is disabled for the same reason (its
-// kill path rewrites the table). Fault injection is likewise
-// unsupported — the classic single-engine path remains the tool for
-// fault studies. Tracing and metrics ARE supported: each partition
-// emits spans into its own obs.Sink and the collector samples at
-// conservative-window boundaries, so artifacts are byte-identical at
-// any worker count and observation never perturbs results (see
-// EnableTracingPrefixed / EnableMetricsPrefixed).
+// The per-invocation watchdog IS supported — its kill path is deferred
+// to the next conservative-window boundary, where the coordinator
+// performs the table rewrite with no window in flight (kills land in
+// partition order, deterministically at any worker count). Fault
+// injection is supported too: fault.Install routes cluster-wide arms
+// (crash, loss, flap, partition cuts) through sim.Group.AtBarrier
+// window-boundary actions and partition-local arms (overload, accel
+// stall, NIC-down) to the owning partition's engine. Tracing and
+// metrics are also supported: each partition emits spans into its own
+// obs.Sink and the collector samples at conservative-window
+// boundaries, so artifacts are byte-identical at any worker count and
+// observation never perturbs results (see EnableTracingPrefixed /
+// EnableMetricsPrefixed).
 func NewPartitionedCluster(seed uint64, parts int) *Cluster {
 	if parts < 1 {
 		parts = 1
@@ -128,11 +140,34 @@ func NewPartitionedCluster(seed uint64, parts int) *Cluster {
 	}
 	if parts > 1 {
 		c.Group = g
+		c.pendingKills = make([][]pendingKill, parts)
+		g.OnRound(func(sim.Time) { c.drainKills() })
 	}
 	if defaultObserver != nil {
 		defaultObserver(c)
 	}
 	return c
+}
+
+// pendingKill is one watchdog kill deferred to a window boundary.
+type pendingKill struct {
+	n *Node
+	a *actor.Actor
+}
+
+// drainKills performs deferred watchdog kills between conservative
+// windows, in partition order (see pendingKills).
+func (c *Cluster) drainKills() {
+	for p := range c.pendingKills {
+		kills := c.pendingKills[p]
+		if len(kills) == 0 {
+			continue
+		}
+		c.pendingKills[p] = nil
+		for _, k := range kills {
+			k.n.performKill(k.a)
+		}
+	}
 }
 
 // Partitions returns the number of engine partitions (1 on classic
@@ -317,9 +352,9 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 			panic(fmt.Sprintf("core: node %q on a partitioned cluster must set DisableMigration "+
 				"(migration rewrites the shared actor table under concurrent readers)", cfg.Name))
 		}
-		// The watchdog's kill path also rewrites the actor table; a
-		// partitioned run keeps the table strictly read-only.
-		cfg.WatchdogTimeout = -1
+		// The watchdog stays enabled: its kill path is deferred to the
+		// next window boundary (see killActor), where the coordinator
+		// rewrites the actor table with no window in flight.
 		part = c.nextPart % c.Group.Partitions()
 		c.nextPart++
 		eng = c.Group.Engine(part)
@@ -707,8 +742,26 @@ func (n *Node) sendRemote(m actor.Msg, dstNode string, fromNIC bool) {
 }
 
 // killActor is the watchdog's OnKill: deregister everywhere and free
-// resources (§3.4).
+// resources (§3.4). On a partitioned cluster the kill fires mid-window
+// on the owning partition's goroutine, so the rewrite is deferred to
+// the next window boundary (the actor may execute a few more already
+// queued invocations inside the current window — the documented PDES
+// kill semantics).
 func (n *Node) killActor(a *actor.Actor) {
+	if n.c.Group != nil {
+		n.c.pendingKills[n.Part] = append(n.c.pendingKills[n.Part], pendingKill{n: n, a: a})
+		return
+	}
+	n.performKill(a)
+}
+
+// performKill deregisters the actor everywhere. Idempotent: a deferred
+// kill may race a crash drain or a repeated watchdog trip for the same
+// actor within one window.
+func (n *Node) performKill(a *actor.Actor) {
+	if _, live := n.actors[a.ID]; !live {
+		return
+	}
 	if n.Sched != nil {
 		n.Sched.RemoveActor(a.ID)
 	}

@@ -71,6 +71,13 @@ func (c *Cluster) CheckerAt(part int) *invariant.Checker {
 	return c.checker
 }
 
+// Checkers returns the attached checkers in partition order (length 1
+// on classic clusters; nil when checking is disabled). Cluster-wide
+// fault arms epoch every partition's ledger at the barrier time, and
+// the replay harness reconciles their handoff counters cross-partition
+// (invariant.CrossCheckHandoffs).
+func (c *Cluster) Checkers() []*invariant.Checker { return c.checkers }
+
 func (n *Node) enableInvariants(chk *invariant.Checker) {
 	if n.Sched != nil {
 		n.Sched.EnableInvariants(chk, n.Name)

@@ -45,6 +45,8 @@ type Common struct {
 	// one (RKV; ignored elsewhere).
 	Failover FailoverPolicy
 	// Faults is an optional failure schedule installed at deploy time.
+	// Schedules install on classic and partitioned (PDES) clusters
+	// alike; cluster-wide arms run at window boundaries (DESIGN.md §12).
 	Faults fault.Schedule
 	// Tenancy enables multi-tenant QoS: priority lanes on the app's
 	// nodes, token-bucket admission on bound clients, and optionally the

@@ -16,7 +16,6 @@
 package fault
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -149,17 +148,37 @@ type Schedule struct {
 	Faults []Fault
 }
 
+// ScheduleError is the typed validation failure for one fault in a
+// Schedule, returned by Validate (and therefore Install): it identifies
+// the offending fault by index and rendered label so a mis-built
+// schedule fails loudly before any event reaches the engine.
+type ScheduleError struct {
+	Index  int    // position in Schedule.Faults
+	Label  string // the offending Fault's label
+	Reason string
+}
+
+// Error implements error with the stable "fault N (label): reason" form.
+func (e *ScheduleError) Error() string {
+	return fmt.Sprintf("fault %d (%s): %s", e.Index, e.Label, e.Reason)
+}
+
 // Validate checks the schedule against a cluster: known target nodes,
-// positive windows, sane parameters. Partition/LinkLoss/LinkFlap targets
-// may name client endpoints (attached to the network but not cluster
-// nodes), so only node-runtime faults require a cluster node.
+// positive windows that do not start before the engine's current time,
+// sane parameters. Partition/LinkLoss/LinkFlap targets may name client
+// endpoints (attached to the network but not cluster nodes), so only
+// node-runtime faults require a cluster node. Every failure is a
+// *ScheduleError.
 func (s Schedule) Validate(cl *core.Cluster) error {
 	for i, f := range s.Faults {
 		where := func(msg string, args ...any) error {
-			return fmt.Errorf("fault %d (%s): %s", i, f.label(), fmt.Sprintf(msg, args...))
+			return &ScheduleError{Index: i, Label: f.label(), Reason: fmt.Sprintf(msg, args...)}
 		}
 		if f.At < 0 {
 			return where("negative start time %v", f.At)
+		}
+		if now := cl.Eng.Now(); f.At < now {
+			return where("window starts in the past (start %v, engine now %v)", f.At, now)
 		}
 		if f.Dur <= 0 {
 			return where("fault window must be positive, got %v", f.Dur)
@@ -198,100 +217,284 @@ func (s Schedule) Validate(cl *core.Cluster) error {
 	return nil
 }
 
-// Injector is an installed schedule: its events are on the engine, its
-// trace lane is registered, and its activation log fills in as the run
-// progresses.
+// Injector is an installed schedule: its events are on the engine (or,
+// on a partitioned cluster, split between partition engines and the
+// group's window-boundary barrier queue), its trace lanes are
+// registered, and its activation log fills in as the run progresses.
 type Injector struct {
-	cl    *core.Cluster
-	eng   *sim.Engine
-	tr    *obs.Tracer
-	track obs.TrackID
-	// chk, when the cluster has invariant checking on, receives a
-	// fingerprint epoch at every activation and restoration, so the
-	// conservation counters are snapshotted per fault window.
-	chk *invariant.Checker
+	cl  *core.Cluster
+	eng *sim.Engine
+	g   *sim.Group // non-nil on partitioned clusters
+	tr  *obs.Tracer
+	// chks, on partitioned clusters, holds every partition's checker:
+	// cluster-wide barrier arms epoch all of them at the barrier time.
+	chks []*invariant.Checker
 
-	// Injected counts fault activations; Active tracks currently-active
-	// windows (both useful to tests and experiment rows).
-	Injected int
-	Active   int
-
-	applied []string
+	// srcs holds one log/counter/trace slot per emitting source:
+	// srcs[0] is the classic engine (or, under PDES, the coordinator
+	// running barrier arms), srcs[1+p] is partition p running its local
+	// arms. Each slot is only ever written by its owning goroutine —
+	// the coordinator between windows, partition p inside its own
+	// window — so the injector needs no locks; reads (Log, Injected,
+	// Active) are for after the run, like every other counter.
+	srcs []injSrc
 }
 
-// Install validates the schedule and schedules every fault on the
-// cluster's engine. Call before Run; faults whose windows start in the
-// past are rejected by the engine (sim.At panics), which is the
-// intended loud failure for a mis-built schedule. Installing an empty
-// schedule is allowed and yields an injector that never fires.
-func Install(cl *core.Cluster, s Schedule) (*Injector, error) {
-	if cl.Partitions() > 1 && len(s.Faults) > 0 {
-		// Fault mechanisms (crash drains, loss-rate writes, partition
-		// cuts) mutate cluster-wide state that PDES partitions read
-		// concurrently; the classic engine remains the fault vehicle.
-		return nil, errors.New("fault: injection is not supported on partitioned (PDES) clusters")
+// injSrc is one source's private injector state.
+type injSrc struct {
+	part  int16 // -1 for the coordinator/classic source
+	eng   *sim.Engine
+	chk   *invariant.Checker // owning checker (nil for the PDES coordinator)
+	sink  *obs.Sink
+	track obs.TrackID
+
+	injected int
+	active   int
+	seq      int32
+	log      []logEntry
+}
+
+// logEntry is one activation-log line with its deterministic sort key:
+// merged output is ordered by (time, source, per-source seq), which is
+// a pure function of the simulation — barrier actions at t sort before
+// partition-local activity at t, matching their execution order.
+type logEntry struct {
+	t    sim.Time
+	part int16
+	seq  int32
+	text string
+}
+
+// barrierArm reports whether the fault kind mutates cluster-wide state
+// (membership, the network's loss and blocked-link tables) and must run
+// as a window-boundary barrier action on a partitioned cluster. The
+// remaining kinds touch only the owning node's partition-local state
+// and run on its partition engine.
+func (f Fault) barrierArm() bool {
+	switch f.Kind {
+	case NodeCrash, LinkLoss, LinkFlap, Partition:
+		return true
 	}
+	return false
+}
+
+// Install validates the schedule and schedules every fault. On a
+// classic cluster every fault is an engine event. On a partitioned
+// (PDES) cluster, cluster-wide arms (crash, loss, flap, partition cuts)
+// become sim.Group.AtBarrier window-boundary actions — they mutate
+// shared state between conservative windows, race-free and
+// deterministically at any worker count — while partition-local arms
+// (overload, accel stall, NIC-down) are scheduled on the owning
+// partition's engine, with jitter drawn from that partition's seeded
+// PRNG stream. A mis-built schedule (unknown node, non-positive window,
+// start before the engine's current time) is rejected with a
+// *ScheduleError before anything reaches the engine. Installing an
+// empty schedule is allowed and yields an injector that never fires.
+func Install(cl *core.Cluster, s Schedule) (*Injector, error) {
 	if err := s.Validate(cl); err != nil {
 		return nil, err
 	}
-	in := &Injector{cl: cl, eng: cl.Eng, tr: cl.Tracer(), track: obs.NoTrack, chk: cl.Checker()}
-	if in.tr.Enabled() && len(s.Faults) > 0 {
-		g := in.tr.Group(cl.ObsPrefix() + "faults")
-		in.track = in.tr.NewTrack(g, "injector")
+	in := &Injector{cl: cl, eng: cl.Eng, tr: cl.Tracer()}
+	parts := 1
+	if cl.Partitions() > 1 {
+		in.g = cl.Group
+		in.chks = cl.Checkers()
+		parts = cl.Partitions()
 	}
+	nsrc := 1
+	if in.g != nil {
+		nsrc = 1 + parts
+	}
+	in.srcs = make([]injSrc, nsrc)
+	in.srcs[0] = injSrc{part: -1, eng: cl.Eng, sink: in.tr.Sink(0), track: obs.NoTrack}
+	if in.g == nil {
+		in.srcs[0].chk = cl.Checker()
+	}
+	for p := 1; p < nsrc; p++ {
+		in.srcs[p] = injSrc{
+			part:  int16(p - 1),
+			eng:   in.g.Engine(p - 1),
+			chk:   cl.CheckerAt(p - 1),
+			sink:  in.tr.Sink(p - 1),
+			track: obs.NoTrack,
+		}
+	}
+
 	// Stable order: sort by start time, preserving schedule order for
 	// ties, so jitter draws and log lines never depend on input order
 	// quirks.
 	faults := append([]Fault(nil), s.Faults...)
 	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
-	for _, f := range faults {
-		start := f.At
-		if f.Jitter > 0 {
-			start += sim.Time(in.eng.Rand().Float64() * float64(f.Jitter))
+
+	// Trace lanes (coordinator-only registration, at install): the
+	// classic/barrier lane, plus one per partition owning local arms.
+	if in.tr.Enabled() && len(faults) > 0 {
+		grp := in.tr.Group(cl.ObsPrefix() + "faults")
+		needCoord := in.g == nil
+		needPart := make([]bool, parts)
+		for _, f := range faults {
+			if in.g == nil {
+				break
+			}
+			if f.barrierArm() {
+				needCoord = true
+			} else {
+				needPart[cl.Node(f.Node).Part] = true
+			}
 		}
+		if needCoord {
+			in.srcs[0].track = in.tr.NewTrack(grp, "injector")
+		}
+		for p := 0; p < parts && in.g != nil; p++ {
+			if needPart[p] {
+				in.srcs[1+p].track = in.tr.NewTrack(grp, fmt.Sprintf("injector-p%d", p))
+			}
+		}
+	}
+
+	for _, f := range faults {
 		f := f
-		in.eng.At(start, func() { in.activate(f, start) })
+		start := f.At
+		if in.g == nil {
+			if f.Jitter > 0 {
+				start += sim.Time(in.eng.Rand().Float64() * float64(f.Jitter))
+			}
+			in.eng.At(start, func() { in.activate(0, f, start) })
+			continue
+		}
+		if f.barrierArm() {
+			// Coordinator jitter stream: partition 0's engine PRNG —
+			// deterministic because install order is the stable sort.
+			if f.Jitter > 0 {
+				start += sim.Time(in.eng.Rand().Float64() * float64(f.Jitter))
+			}
+			in.g.AtBarrier(start, func() { in.activateBarrier(f, start) })
+			continue
+		}
+		p := cl.Node(f.Node).Part
+		if f.Jitter > 0 {
+			start += sim.Time(in.g.Engine(p).Rand().Float64() * float64(f.Jitter))
+		}
+		in.g.Engine(p).At(start, func() { in.activate(1+p, f, start) })
 	}
 	return in, nil
 }
 
-// Log returns the activation log: one line per fault start and end, in
-// event order, with virtual timestamps. Byte-deterministic for a given
-// seed and schedule.
-func (in *Injector) Log() []string { return in.applied }
-
-// Fingerprint joins the log into one comparable string.
-func (in *Injector) Fingerprint() string { return strings.Join(in.applied, "\n") }
-
-func (in *Injector) logf(format string, args ...any) {
-	in.applied = append(in.applied, fmt.Sprintf(format, args...))
+// Injected counts fault activations so far, across all sources.
+func (in *Injector) Injected() int {
+	n := 0
+	for i := range in.srcs {
+		n += in.srcs[i].injected
+	}
+	return n
 }
 
-// activate applies a fault now and schedules its restoration.
-func (in *Injector) activate(f Fault, start sim.Time) {
-	revert := in.apply(f)
-	in.Injected++
-	in.Active++
-	in.logf("t=%d +%s", int64(in.eng.Now()), f.label())
-	in.chk.Epoch("+" + f.label())
+// Active counts currently-active fault windows, across all sources.
+func (in *Injector) Active() int {
+	n := 0
+	for i := range in.srcs {
+		n += in.srcs[i].active
+	}
+	return n
+}
+
+// Log returns the activation log: one line per fault start and end,
+// with virtual timestamps, merged across sources in (time, source,
+// seq) order. Byte-deterministic for a given seed and schedule at any
+// PDES worker count; on classic clusters the merge is the identity.
+// Call between runs, not from inside one.
+func (in *Injector) Log() []string {
+	var all []logEntry
+	for i := range in.srcs {
+		all = append(all, in.srcs[i].log...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].t != all[b].t {
+			return all[a].t < all[b].t
+		}
+		if all[a].part != all[b].part {
+			return all[a].part < all[b].part
+		}
+		return all[a].seq < all[b].seq
+	})
+	out := make([]string, len(all))
+	for i := range all {
+		out[i] = all[i].text
+	}
+	return out
+}
+
+// Fingerprint joins the log into one comparable string.
+func (in *Injector) Fingerprint() string { return strings.Join(in.Log(), "\n") }
+
+// logAt appends a log line to the source's private vector, stamped for
+// the deterministic merge.
+func (in *Injector) logAt(src int, t sim.Time, text string) {
+	s := &in.srcs[src]
+	s.seq++
+	s.log = append(s.log, logEntry{t: t, part: s.part, seq: s.seq, text: text})
+}
+
+// activate applies a fault on its owning engine (the classic engine, or
+// a partition engine for local arms) and schedules its restoration.
+func (in *Injector) activate(src int, f Fault, start sim.Time) {
+	revert := in.apply(src, f, start)
+	s := &in.srcs[src]
+	s.injected++
+	s.active++
+	in.logAt(src, start, fmt.Sprintf("t=%d +%s", int64(start), f.label()))
+	s.chk.Epoch("+" + f.label())
 	end := start + f.Dur
 	// The span is emitted at activation (the window is known up front):
 	// per-lane timestamps then stay monotonic even when windows overlap.
-	in.tr.Span(in.track, f.label(), start, end, obs.Args{})
-	in.eng.At(end, func() {
+	s.sink.Span(s.track, f.label(), start, end, obs.Args{})
+	s.eng.At(end, func() {
 		if revert != nil {
 			revert()
 		}
-		in.Active--
-		in.logf("t=%d -%s", int64(in.eng.Now()), f.label())
-		in.chk.Epoch("-" + f.label())
+		s.active--
+		in.logAt(src, end, fmt.Sprintf("t=%d -%s", int64(end), f.label()))
+		s.chk.Epoch("-" + f.label())
 	})
 }
 
+// activateBarrier applies a cluster-wide fault between conservative
+// windows and chains its restoration as another barrier action. Log
+// lines and epochs are stamped with the barrier time (partition clocks
+// sit one tick behind it during the action).
+func (in *Injector) activateBarrier(f Fault, start sim.Time) {
+	revert := in.applyBarrier(f, start)
+	s := &in.srcs[0]
+	s.injected++
+	s.active++
+	in.logAt(0, start, fmt.Sprintf("t=%d +%s", int64(start), f.label()))
+	in.epochAll("+"+f.label(), start)
+	end := start + f.Dur
+	s.sink.Span(s.track, f.label(), start, end, obs.Args{})
+	in.g.AtBarrier(end, func() {
+		if revert != nil {
+			revert()
+		}
+		s.active--
+		in.logAt(0, end, fmt.Sprintf("t=%d -%s", int64(end), f.label()))
+		in.epochAll("-"+f.label(), end)
+	})
+}
+
+// epochAll stamps a fault epoch on every partition's ledger at the
+// barrier time: a cluster-wide mutation is visible to all of them.
+func (in *Injector) epochAll(label string, t sim.Time) {
+	for _, chk := range in.chks {
+		chk.EpochAt(label, t)
+	}
+}
+
 // apply performs a fault's effect and returns its undo (nil when the
-// effect self-expires).
-func (in *Injector) apply(f Fault) func() {
+// effect self-expires). Engine-path only — on a partitioned cluster
+// this runs solely for partition-local arms, on the owning engine.
+func (in *Injector) apply(src int, f Fault, start sim.Time) func() {
 	net := in.cl.Net
+	s := &in.srcs[src]
 	switch f.Kind {
 	case NodeCrash:
 		n := in.cl.Node(f.Node)
@@ -315,64 +518,125 @@ func (in *Injector) apply(f Fault) func() {
 				net.SetBlocked(f.Node, o, on)
 			}
 		}
-		half := f.Period / 2
-		if half <= 0 {
-			half = f.Dur / 8
-		}
-		if half <= 0 {
-			half = 1
-		}
-		end := in.eng.Now() + f.Dur
+		half := flapHalf(f)
+		end := s.eng.Now() + f.Dur
 		down := true
 		cut(true)
 		var toggle func()
 		toggle = func() {
-			if in.eng.Now() >= end {
+			if s.eng.Now() >= end {
 				return
 			}
 			down = !down
 			cut(down)
 			if down {
-				in.tr.Instant(in.track, "flap down "+f.Node, in.eng.Now())
+				s.sink.Instant(s.track, "flap down "+f.Node, s.eng.Now())
 			} else {
-				in.tr.Instant(in.track, "flap up "+f.Node, in.eng.Now())
+				s.sink.Instant(s.track, "flap up "+f.Node, s.eng.Now())
 			}
-			in.eng.After(half, toggle)
+			s.eng.After(half, toggle)
 		}
-		in.eng.After(half, toggle)
+		s.eng.After(half, toggle)
 		return func() { cut(false) }
 	case Partition:
-		group := map[string]bool{}
-		for _, a := range f.Nodes {
-			group[a] = true
-		}
-		var others []string
-		for _, name := range in.allEndpoints() {
-			if !group[name] {
-				others = append(others, name)
-			}
-		}
-		for _, a := range f.Nodes {
-			for _, b := range others {
-				net.SetBlocked(a, b, true)
-			}
-		}
-		a := append([]string(nil), f.Nodes...)
-		return func() {
-			for _, x := range a {
-				for _, b := range others {
-					net.SetBlocked(x, b, false)
-				}
-			}
-		}
+		return in.applyCut(f)
 	case AccelStall:
 		n := in.cl.Node(f.Node)
 		if n.Accels == nil || !n.Accels.Stall(f.Unit, f.Dur) {
-			in.logf("t=%d skip %s (no unit)", int64(in.eng.Now()), f.label())
+			in.logAt(src, start, fmt.Sprintf("t=%d skip %s (no unit)", int64(start), f.label()))
 		}
 		return nil // the station drains the stall by itself
 	}
 	return nil
+}
+
+// applyBarrier performs a cluster-wide fault's effect from a barrier
+// action and returns its undo. Flap toggles chain as further barrier
+// actions at explicit times (no engine owns them).
+func (in *Injector) applyBarrier(f Fault, start sim.Time) func() {
+	net := in.cl.Net
+	switch f.Kind {
+	case NodeCrash:
+		n := in.cl.Node(f.Node)
+		n.Fail()
+		return n.Recover
+	case LinkLoss:
+		net.SetNodeLoss(f.Node, f.Rate)
+		return func() { net.SetNodeLoss(f.Node, 0) }
+	case LinkFlap:
+		others := in.peersOf(f.Node)
+		cut := func(on bool) {
+			for _, o := range others {
+				net.SetBlocked(f.Node, o, on)
+			}
+		}
+		half := flapHalf(f)
+		end := start + f.Dur
+		down := true
+		cut(true)
+		s := &in.srcs[0]
+		var toggle func(at sim.Time)
+		toggle = func(at sim.Time) {
+			if at >= end {
+				return
+			}
+			down = !down
+			cut(down)
+			if down {
+				s.sink.Instant(s.track, "flap down "+f.Node, at)
+			} else {
+				s.sink.Instant(s.track, "flap up "+f.Node, at)
+			}
+			in.g.AtBarrier(at+half, func() { toggle(at + half) })
+		}
+		in.g.AtBarrier(start+half, func() { toggle(start + half) })
+		return func() { cut(false) }
+	case Partition:
+		return in.applyCut(f)
+	}
+	return nil
+}
+
+// flapHalf derives a flap's half-period with the documented defaults.
+func flapHalf(f Fault) sim.Time {
+	half := f.Period / 2
+	if half <= 0 {
+		half = f.Dur / 8
+	}
+	if half <= 0 {
+		half = 1
+	}
+	return half
+}
+
+// applyCut severs the fault's group from every other attached endpoint
+// and returns the heal. Pure blocked-table writes — shared between the
+// classic engine path and the barrier path.
+func (in *Injector) applyCut(f Fault) func() {
+	net := in.cl.Net
+	group := map[string]bool{}
+	for _, a := range f.Nodes {
+		group[a] = true
+	}
+	var others []string
+	for _, name := range in.allEndpoints() {
+		if !group[name] {
+			others = append(others, name)
+		}
+	}
+	for _, a := range f.Nodes {
+		for _, b := range others {
+			net.SetBlocked(a, b, true)
+		}
+	}
+	a := append([]string(nil), f.Nodes...)
+	return func() {
+		for _, x := range a {
+			for _, b := range others {
+				net.SetBlocked(x, b, false)
+			}
+		}
+	}
 }
 
 // allEndpoints returns every network-attached name (nodes and clients),

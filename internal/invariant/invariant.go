@@ -508,8 +508,19 @@ func (c *Checker) Epoch(label string) {
 	if c == nil {
 		return
 	}
+	c.EpochAt(label, c.now())
+}
+
+// EpochAt is Epoch with an explicit timestamp — the barrier-time form
+// for coordinator-side fault actions under PDES, where the partition
+// clocks are normalized to one tick before the barrier and c.now()
+// would stamp t-1 for a mutation that semantically happens at t.
+func (c *Checker) EpochAt(label string, t sim.Time) {
+	if c == nil {
+		return
+	}
 	c.epochs = append(c.epochs,
-		fmt.Sprintf("epoch t=%d %s %s", int64(c.now()), label, c.countersLine()))
+		fmt.Sprintf("epoch t=%d %s %s", int64(t), label, c.countersLine()))
 }
 
 // Finish runs the end-of-run checks and seals the final counter line.
@@ -571,6 +582,44 @@ func (c *Checker) Summary() string {
 		return "invariants: disabled"
 	}
 	return fmt.Sprintf("invariants: %d checks, %d violations", c.checks, len(c.violations))
+}
+
+// CrossCheckHandoffs reconciles one cluster's per-partition handoff
+// ledgers: every packet some partition handed off (NetHandoffOut) must
+// have been claimed by another (NetHandoffIn), so the totals must agree
+// once every engine has drained — per-partition conservation only
+// proves each ledger is internally consistent; this closes the loop
+// across them. Crash drains make the check interesting under faults: a
+// cross-partition packet dropped by a downed destination still counts
+// as received-then-dropped on the destination ledger, never as lost
+// between ledgers. Skipped when any engine still has pending work
+// (cutoff runs legitimately strand packets mid-handoff); a mismatch is
+// recorded as a violation on the first enabled checker. Call once,
+// after the run, alongside Finish.
+func CrossCheckHandoffs(chks []*Checker) {
+	var first *Checker
+	var out, in uint64
+	for _, c := range chks {
+		if c == nil {
+			continue
+		}
+		if c.eng != nil && c.eng.Pending() > 0 {
+			return
+		}
+		if first == nil {
+			first = c
+		}
+		out += c.netXferOut
+		in += c.netXferIn
+	}
+	if first == nil {
+		return
+	}
+	first.checks++
+	if out != in {
+		first.violate("net-handoff-reconcile",
+			"cross-partition handoffs do not reconcile: out %d, in %d", out, in)
+	}
 }
 
 // SortFingerprints canonicalizes a set of per-cluster fingerprints: the

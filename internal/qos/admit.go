@@ -6,26 +6,52 @@ import (
 	"repro/internal/sim"
 )
 
-// bucket is a deterministic token bucket refilled on virtual time.
+// bucket is a deterministic token bucket in GCRA (virtual-scheduling)
+// form on integer virtual time: tat is the theoretical arrival time of
+// the next conforming request, inc the emission interval (one token's
+// worth of time), tau the burst tolerance. Admission is then a pure
+// function of the request time — splitting a refill interval (a denied
+// probe at t1 between takes at t0 and t2) cannot perturb the outcome
+// at t2, because denied takes don't mutate and granted ones advance
+// tat by exactly inc. The earlier float-accumulator form refilled
+// `tokens += rate·Δt` on every call, including denied ones, so the
+// admitted sequence depended on how the interval happened to be split
+// — a float-drift hazard now that gates run per-partition under
+// faulted PDES runs (see TestBucketSplitRefillDeterminism).
 type bucket struct {
-	rate   float64 // tokens per virtual second
-	burst  float64
-	tokens float64
-	last   sim.Time
+	inc sim.Time // emission interval: Second/rate, floored at 1
+	tau sim.Time // burst tolerance: (burst-1)·inc
+	tat sim.Time
+}
+
+// newBucket derives the GCRA parameters. rate ≤ 0 (rejected upstream
+// by Tenancy validation) degrades to an effectively-never-refilling
+// bucket rather than dividing by zero.
+func newBucket(rate, burst float64) bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	var inc sim.Time
+	if rate <= 0 {
+		inc = sim.MaxTime / 4
+	} else {
+		inc = sim.Time(float64(sim.Second) / rate)
+		if inc < 1 {
+			inc = 1
+		}
+	}
+	return bucket{inc: inc, tau: sim.Time((burst - 1) * float64(inc))}
 }
 
 func (b *bucket) take(now sim.Time) bool {
-	if now > b.last {
-		b.tokens += b.rate * (now - b.last).Seconds()
-		if b.tokens > b.burst {
-			b.tokens = b.burst
-		}
-		b.last = now
+	t := b.tat
+	if t < now {
+		t = now
 	}
-	if b.tokens < 1 {
+	if t-now > b.tau {
 		return false
 	}
-	b.tokens--
+	b.tat = t + b.inc
 	return true
 }
 
@@ -64,7 +90,7 @@ func newGate(tenants []Tenant, chk *invariant.Checker, ctl *Controller) *Gate {
 		if burst <= 0 {
 			burst = DefaultBurst
 		}
-		g.buckets[i] = bucket{rate: t.RatePerSec, burst: burst, tokens: burst}
+		g.buckets[i] = newBucket(t.RatePerSec, burst)
 	}
 	return g
 }

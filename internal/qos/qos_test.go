@@ -225,7 +225,7 @@ func TestLaneControlUnbounded(t *testing.T) {
 // burst-limited at one instant, refilled exactly rate*dt later, capped
 // at burst.
 func TestBucketRefill(t *testing.T) {
-	b := bucket{rate: 1e6, burst: 2, tokens: 2} // 1 token per µs
+	b := newBucket(1e6, 2) // 1 token per µs, burst 2
 	if !b.take(0) || !b.take(0) {
 		t.Fatal("full bucket refused its burst")
 	}
@@ -404,5 +404,61 @@ func TestObserveEWMA(t *testing.T) {
 	ctl.Observe(9, 1e9) // untabled: ignored
 	if got := ctl.TenantEWMA(9); got != 0 {
 		t.Fatalf("untabled tenant EWMA = %g, want 0", got)
+	}
+}
+
+// TestBucketSplitRefillDeterminism is the split-interval property behind
+// the GCRA rewrite: a denied probe between two takes must not perturb
+// the admit sequence at the original times. Two identical buckets run in
+// lockstep over randomized rates, bursts, and arrival times (8 seeds);
+// bucket B additionally absorbs denied probes at random intermediate
+// instants. Because denied takes don't mutate GCRA state, B's answers at
+// the shared times must match A's bit for bit — the old float
+// accumulator refilled on every call and failed exactly this property.
+func TestBucketSplitRefillDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := sim.NewRand(seed)
+		rate := 1e3 + float64(rng.Int63n(1_000_000)) // 1e3..~1e6 req/s
+		burst := 1 + float64(rng.Int63n(32))
+		a := newBucket(rate, burst)
+		b := newBucket(rate, burst)
+
+		now := sim.Time(0)
+		probes := 0
+		for step := 0; step < 2000; step++ {
+			now += sim.Time(rng.Int63n(int64(2 * sim.Microsecond)))
+
+			// Splice denied probes into B's timeline strictly before the
+			// shared take. A value-copy trial tells us whether the probe
+			// would be granted; granted probes are skipped (they would
+			// legitimately change the sequence — not the property under
+			// test).
+			for p := 0; p < rng.Intn(3); p++ {
+				pt := now - sim.Time(rng.Int63n(int64(sim.Microsecond))+1)
+				if pt < 0 {
+					pt = 0
+				}
+				if trial := b; !trial.take(pt) {
+					before := b
+					if b.take(pt) {
+						t.Fatalf("seed %d: trial denied but real take granted at %v", seed, pt)
+					}
+					if b != before {
+						t.Fatalf("seed %d: denied take mutated bucket state at %v: %+v -> %+v",
+							seed, pt, before, b)
+					}
+					probes++
+				}
+			}
+
+			ga, gb := a.take(now), b.take(now)
+			if ga != gb {
+				t.Fatalf("seed %d step %d t=%v: split timeline diverged (a=%v b=%v after %d probes)",
+					seed, step, now, ga, gb, probes)
+			}
+		}
+		if probes == 0 {
+			t.Fatalf("seed %d: no denied probes exercised; property vacuous", seed)
+		}
 	}
 }

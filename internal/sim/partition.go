@@ -96,6 +96,23 @@ type Group struct {
 	// between rounds and read by workers during them (the work channel
 	// send/receive pair orders the accesses).
 	limit Time
+
+	// barriers is the coordinator-side action queue (see AtBarrier):
+	// cluster-wide mutations that run between conservative windows, when
+	// no partition is mid-window and every inbox is drained. floor is
+	// the commit point — every event strictly before it has executed —
+	// so a new action before the floor is a model bug and panics. bseq
+	// totally orders same-time actions by registration.
+	barriers []barrierAction
+	bseq     uint64
+	floor    Time
+}
+
+// barrierAction is one queued window-boundary mutation.
+type barrierAction struct {
+	at  Time
+	seq uint64
+	fn  func()
 }
 
 // NewGroup creates n partitions. Partition i's PRNG stream is seeded
@@ -145,16 +162,82 @@ func (g *Group) TightenLookahead(l Time) {
 func (g *Group) Rounds() uint64 { return g.rounds }
 
 // OnRound registers a coordinator hook invoked after each round's
-// windows complete, with the round's window limit. Hooks must be
-// read-only with respect to simulation state: they run between rounds,
-// never concurrently with window execution, and must not schedule
-// events (that would change the window structure and break the
-// any-worker-count determinism guarantee). Register before RunUntil.
+// windows complete, with the round's window limit. Hooks run between
+// rounds, never concurrently with window execution. Observability
+// hooks must stay read-only with respect to simulation state — they
+// must not schedule events, which would change the window structure
+// and perturb results. Coordinator-side *maintenance* mutations (e.g.
+// draining deferred watchdog kills) are permitted because their effect
+// is a pure function of the round structure, which is itself identical
+// at any worker count; they still must not touch state a window could
+// be reading, since hooks and windows never overlap but two hooks'
+// writes are ordered only by registration. Register before RunUntil.
 func (g *Group) OnRound(fn func(limit Time)) {
 	if fn == nil {
 		return
 	}
 	g.onRound = append(g.onRound, fn)
+}
+
+// AtBarrier schedules fn to run on the coordinator at virtual time at,
+// between conservative windows: when it runs, every partition has
+// executed exactly the events strictly before at, every inbox is
+// drained, and no window goroutine is live — so fn may mutate
+// cluster-wide shared state (network loss tables, blocked-link maps,
+// node up/down flags) race-free and deterministically at any worker
+// count. Actions at the same time run in registration order, and run
+// *before* any simulation event at that same timestamp (the window
+// limit is capped at the earliest pending barrier time). Partition
+// clocks are normalized to at-1 first, so fn may schedule follow-on
+// engine events at or after at, and may chain further AtBarrier calls
+// at ≥ at.
+//
+// Call AtBarrier before RunUntil or from coordinator context (another
+// barrier action, an OnRound hook) — never from inside window
+// execution, where it would race on the queue. Scheduling an action
+// before the group's commit floor (a window already executed past it)
+// panics, mirroring Engine.At on past times. Actions past the RunUntil
+// deadline stay queued for a later run.
+func (g *Group) AtBarrier(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: nil barrier action")
+	}
+	if at < g.floor {
+		panic(fmt.Sprintf("sim: barrier action at %v is in the past (group floor %v)", at, g.floor))
+	}
+	g.bseq++
+	g.barriers = append(g.barriers, barrierAction{at: at, seq: g.bseq, fn: fn})
+}
+
+// nextBarrier returns the earliest queued barrier time, MaxTime if none.
+func (g *Group) nextBarrier() Time {
+	b := MaxTime
+	for i := range g.barriers {
+		if g.barriers[i].at < b {
+			b = g.barriers[i].at
+		}
+	}
+	return b
+}
+
+// runBarrierActions pops and runs every action queued at exactly time
+// at, in registration order; actions chained at the same time by a
+// running action are picked up in the same pass.
+func (g *Group) runBarrierActions(at Time) {
+	for {
+		best := -1
+		for i := range g.barriers {
+			if g.barriers[i].at == at && (best < 0 || g.barriers[i].seq < g.barriers[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn := g.barriers[best].fn
+		g.barriers = append(g.barriers[:best], g.barriers[best+1:]...)
+		fn()
+	}
 }
 
 // Crossed returns the number of cross-partition events injected. Only
@@ -258,7 +341,23 @@ func (g *Group) Run(workers int) { g.RunUntil(MaxTime, workers) }
 // results.
 func (g *Group) RunUntil(deadline Time, workers int) {
 	if len(g.engs) == 1 {
-		g.engs[0].RunUntil(deadline)
+		// Degenerate group: no windows, but barrier actions keep their
+		// ordering contract — run events strictly before each action
+		// time, then the action, then continue.
+		e := g.engs[0]
+		for {
+			B := g.nextBarrier()
+			if B > deadline || B == MaxTime {
+				break
+			}
+			if B > 0 {
+				e.RunUntil(B - 1)
+			}
+			g.floor = B
+			g.runBarrierActions(B)
+		}
+		e.RunUntil(deadline)
+		g.bumpFloor(deadline)
 		return
 	}
 	if g.lookahead <= 0 {
@@ -288,6 +387,23 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 				T = t
 			}
 		}
+		// Window-boundary barrier actions: the earliest queued action is
+		// due once no pending event precedes it — prior windows were
+		// capped at the barrier time, so every partition has executed
+		// exactly the events strictly before it. Clocks are normalized
+		// to B-1 first (executes nothing: no event is before B) so
+		// actions observe a consistent Now and may schedule follow-on
+		// events at or after B.
+		if B := g.nextBarrier(); B != MaxTime && B <= deadline && B <= T {
+			if B > 0 {
+				for _, e := range g.engs {
+					e.RunUntil(B - 1)
+				}
+			}
+			g.floor = B
+			g.runBarrierActions(B)
+			continue // actions may add events, actions, or inbox traffic
+		}
 		if T > deadline || T == MaxTime {
 			break
 		}
@@ -300,6 +416,11 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 			// keeps post-deadline events pending, like Engine.RunUntil.
 			limit = deadline + 1
 		}
+		if B := g.nextBarrier(); limit > B {
+			// Nobody may execute at or past a pending barrier action
+			// before it runs. B > T here, so the window still advances.
+			limit = B
+		}
 		g.limit = limit
 		g.rounds++
 		if pool != nil {
@@ -309,6 +430,9 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 				g.runWindow(i)
 			}
 		}
+		if limit > g.floor {
+			g.floor = limit
+		}
 		for _, fn := range g.onRound {
 			fn(limit)
 		}
@@ -317,6 +441,20 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 	// event is past the deadline, so this executes nothing new.
 	for _, e := range g.engs {
 		e.RunUntil(deadline)
+	}
+	g.bumpFloor(deadline)
+}
+
+// bumpFloor commits the floor past a completed RunUntil deadline: the
+// clocks are normalized to the deadline, so any later barrier action at
+// or before it would run out of order.
+func (g *Group) bumpFloor(deadline Time) {
+	f := deadline + 1
+	if f < deadline {
+		f = MaxTime
+	}
+	if f > g.floor {
+		g.floor = f
 	}
 }
 

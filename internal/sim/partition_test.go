@@ -205,3 +205,179 @@ func TestTotalExecutedFlushesAtWindows(t *testing.T) {
 		t.Fatalf("mid-run TotalExecuted advance = %d, want ≥ 200 (per-window flush missing)", seen)
 	}
 }
+
+// TestAtBarrierOrderingContract pins the barrier ordering rules on a
+// multi-partition group: an action at time B runs after every event
+// strictly before B on every partition, before any event at B, with all
+// clocks normalized to B-1, and may schedule follow-on events at ≥ B.
+func TestAtBarrierOrderingContract(t *testing.T) {
+	g := NewGroup(1, 2)
+	g.TightenLookahead(Microsecond)
+	const B = 10 * Microsecond
+	var trace []string
+	g.Engine(0).At(B-1, func() { trace = append(trace, "p0@B-1") })
+	g.Engine(1).At(B-1, func() { trace = append(trace, "p1@B-1") })
+	g.Engine(0).At(B, func() { trace = append(trace, "p0@B") })
+	g.Engine(1).At(B+1, func() { trace = append(trace, "p1@B+1") })
+	g.AtBarrier(B, func() {
+		trace = append(trace, "barrier")
+		if n0, n1 := g.Engine(0).Now(), g.Engine(1).Now(); n0 != B-1 || n1 != B-1 {
+			t.Errorf("barrier action saw clocks %v/%v, want both normalized to %v", n0, n1, B-1)
+		}
+		// Follow-on work at the barrier time itself is legal.
+		g.Engine(1).At(B, func() { trace = append(trace, "p1@B-followon") })
+	})
+	// workers=1: the shared trace is appended from window events on both
+	// partitions, which would race under a pool; the ordering contract is
+	// identical at any worker count (see the determinism test).
+	g.RunUntil(20*Microsecond, 1)
+	want := []string{"p0@B-1", "p1@B-1", "barrier", "p0@B", "p1@B-followon", "p1@B+1"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("barrier ordering:\n got %v\nwant %v", trace, want)
+	}
+}
+
+// TestAtBarrierSameTimeAndChaining: same-time actions run in
+// registration order; an action chaining another at the same instant is
+// picked up in the same pass, and a later chain runs at its own time.
+func TestAtBarrierSameTimeAndChaining(t *testing.T) {
+	for _, parts := range []int{1, 3} {
+		g := NewGroup(2, parts)
+		g.TightenLookahead(Microsecond)
+		var order []string
+		g.AtBarrier(5*Microsecond, func() {
+			order = append(order, "a")
+			g.AtBarrier(5*Microsecond, func() { order = append(order, "a-chain") })
+			g.AtBarrier(8*Microsecond, func() { order = append(order, "late-chain") })
+		})
+		g.AtBarrier(5*Microsecond, func() { order = append(order, "b") })
+		// Keep the mesh busy so windows actually advance.
+		for i := 0; i < parts; i++ {
+			e := g.Engine(i)
+			e.At(0, func() {})
+			e.At(9*Microsecond, func() {})
+		}
+		g.RunUntil(10*Microsecond, parts)
+		want := []string{"a", "b", "a-chain", "late-chain"}
+		if fmt.Sprint(order) != fmt.Sprint(want) {
+			t.Fatalf("parts=%d: action order %v, want %v", parts, order, want)
+		}
+	}
+}
+
+// TestAtBarrierPastFloorPanics: scheduling an action behind the commit
+// floor is a model bug and panics, like Engine.At on a past time.
+func TestAtBarrierPastFloorPanics(t *testing.T) {
+	g := NewGroup(3, 2)
+	g.TightenLookahead(Microsecond)
+	g.Engine(0).At(Microsecond, func() {})
+	g.RunUntil(5*Microsecond, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtBarrier before the commit floor did not panic")
+		}
+	}()
+	g.AtBarrier(2*Microsecond, func() {})
+}
+
+// TestAtBarrierPastDeadlineStaysQueued: an action beyond the RunUntil
+// deadline does not run in that call, and fires on a later RunUntil that
+// covers it — on both the single-engine and windowed paths.
+func TestAtBarrierPastDeadlineStaysQueued(t *testing.T) {
+	for _, parts := range []int{1, 2} {
+		g := NewGroup(4, parts)
+		g.TightenLookahead(Microsecond)
+		ran := 0
+		g.AtBarrier(8*Microsecond, func() { ran++ })
+		g.Engine(0).At(Microsecond, func() {})
+		g.RunUntil(5*Microsecond, parts)
+		if ran != 0 {
+			t.Fatalf("parts=%d: action past the deadline ran early", parts)
+		}
+		g.RunUntil(10*Microsecond, parts)
+		if ran != 1 {
+			t.Fatalf("parts=%d: queued action ran %d times after covering RunUntil, want 1", parts, ran)
+		}
+	}
+}
+
+// TestAtBarrierDeterminismAcrossWorkers runs the ping mesh with barrier
+// actions mutating shared state mid-run and compares full delivery logs
+// plus barrier observations across 1, 2, and 4 workers.
+func TestAtBarrierDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		const parts, deadline = 4, 200 * Microsecond
+		const lookahead = 900 * Nanosecond
+		g := NewGroup(7, parts)
+		g.TightenLookahead(lookahead)
+		shared := 0 // cluster-wide state only barrier actions touch
+		var out []string
+		logs := make([][]pingRecord, parts)
+		for i := 0; i < parts; i++ {
+			i := i
+			e := g.Engine(i)
+			var tick func(n uint64)
+			tick = func(n uint64) {
+				draw := e.Rand().Uint64()
+				if n%3 == 0 {
+					dst := int(draw % uint64(parts))
+					if dst != i {
+						at := e.Now() + lookahead + Time(draw%500)
+						n, d := n, draw
+						g.Inject(i, dst, at, func() {
+							logs[dst] = append(logs[dst], pingRecord{
+								at: g.Engine(dst).Now(), src: i, dst: dst, tick: n, draw: d})
+						})
+					}
+				}
+				if next := e.Now() + Time(100+draw%300); next <= deadline {
+					e.At(next, func() { tick(n + 1) })
+				}
+			}
+			e.Defer(func() { tick(0) })
+		}
+		for _, at := range []Time{30 * Microsecond, 100 * Microsecond, 100 * Microsecond} {
+			at := at
+			g.AtBarrier(at, func() {
+				shared++
+				total := uint64(0)
+				for i := 0; i < parts; i++ {
+					total += g.Engine(i).Executed()
+				}
+				out = append(out, fmt.Sprintf("t=%d shared=%d executed=%d", int64(at), shared, total))
+			})
+		}
+		g.RunUntil(deadline, workers)
+		for p := range logs {
+			for _, r := range logs[p] {
+				out = append(out, fmt.Sprintf("p%d %v %d->%d tick=%d draw=%d", p, r.at, r.src, r.dst, r.tick, r.draw))
+			}
+		}
+		return fmt.Sprint(out)
+	}
+	base := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); got != base {
+			t.Fatalf("barrier-action run diverged at %d workers", w)
+		}
+	}
+}
+
+// TestAtBarrierUnderUnboundedRun: Group.Run (deadline = MaxTime) must
+// terminate once the group drains — the empty action queue's MaxTime
+// sentinel is "no barrier pending", not a barrier at MaxTime — and
+// still run actions scheduled past the last event first.
+func TestAtBarrierUnderUnboundedRun(t *testing.T) {
+	for _, parts := range []int{1, 2} {
+		g := NewGroup(4, parts)
+		g.TightenLookahead(Microsecond)
+		ran := 0
+		g.AtBarrier(8*Microsecond, func() { ran++ })
+		g.Engine(0).At(Microsecond, func() {})
+		g.Engine(parts-1).At(2*Microsecond, func() {})
+		g.Run(parts) // regression: looped forever on the drained group
+		if ran != 1 {
+			t.Fatalf("parts=%d: action past the last event ran %d times under Run, want 1", parts, ran)
+		}
+	}
+}

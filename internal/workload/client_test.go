@@ -118,3 +118,96 @@ func TestRetryFiresUnderTotalLoss(t *testing.T) {
 		t.Fatal("received a response through a fully lossy network")
 	}
 }
+
+// TestBackoffUncappedSaturates is the regression test for the backoff
+// overflow: with Backoff > 1, MaxTimeout == 0, and enough retries under
+// total loss, the grown interval used to double past int64 nanoseconds
+// and wrap negative, handing the engine a timer in the past. The fix
+// saturates at MaxUncappedTimeout; the give-up path must still fire.
+func TestBackoffUncappedSaturates(t *testing.T) {
+	cl, client := echoCluster(t, 6, sim.Microsecond)
+	cl.Net.LossRate = 1.0
+	gaveUp := 0
+	const retries = 80 // 1µs doubled 80× ≫ int64 range without the clamp
+	client.Send(workload.Request{
+		Node: "srv", Dst: 1, Size: 128,
+		Timeout: sim.Microsecond, Retries: retries, Backoff: 2,
+		OnGiveUp: func() { gaveUp++ },
+	})
+	cl.Eng.Run()
+	if client.Retried != retries {
+		t.Fatalf("retried %d times, want all %d", client.Retried, retries)
+	}
+	if gaveUp != 1 {
+		t.Fatalf("OnGiveUp fired %d times, want exactly 1", gaveUp)
+	}
+	// Saturated growth: the run ends within retries × MaxUncappedTimeout
+	// plus the pre-saturation ramp, never at a wrapped-negative time.
+	if now := cl.Eng.Now(); now <= 0 || now > sim.Time(retries+2)*workload.MaxUncappedTimeout {
+		t.Fatalf("engine ended at %v; backoff growth did not saturate sanely", now)
+	}
+}
+
+// TestBackoffHonorsMaxTimeout pins the explicit-cap path: growth stops
+// at MaxTimeout, so the whole retry ladder fits in a known window.
+func TestBackoffHonorsMaxTimeout(t *testing.T) {
+	cl, client := echoCluster(t, 7, sim.Microsecond)
+	cl.Net.LossRate = 1.0
+	client.Send(workload.Request{
+		Node: "srv", Dst: 1, Size: 128,
+		Timeout: 10 * sim.Microsecond, Retries: 10, Backoff: 3,
+		MaxTimeout: 40 * sim.Microsecond,
+	})
+	cl.Eng.Run()
+	// Ladder: 10+30+40×9 = 400µs of waits; allow slack for wire time.
+	if now := cl.Eng.Now(); now > 500*sim.Microsecond {
+		t.Fatalf("run ended at %v, want ≤ 500µs with a 40µs cap", now)
+	}
+	if client.Retried != 10 {
+		t.Fatalf("retried %d, want 10", client.Retried)
+	}
+}
+
+// rejectAllQoS denies every non-control admission, counting calls.
+type rejectAllQoS struct{ offered, latencies int }
+
+func (q *rejectAllQoS) Admit(tenant uint16, class uint8, now sim.Time) bool {
+	q.offered++
+	return false
+}
+func (q *rejectAllQoS) Latency(tenant uint16, class uint8, us float64) { q.latencies++ }
+
+// TestQoSRejectAccounting pins the edge-shed accounting contract (see
+// the Client counter docs): an admission-denied request is Rejected,
+// never Sent, fires OnGiveUp exactly once, records no latency, and
+// still counts toward Offered().
+func TestQoSRejectAccounting(t *testing.T) {
+	cl, client := echoCluster(t, 8, sim.Microsecond)
+	q := &rejectAllQoS{}
+	client.SetQoS(q)
+	gaveUp := 0
+	cl.Eng.At(0, func() {
+		client.Send(workload.Request{
+			Node: "srv", Dst: 1, Size: 128,
+			Timeout: 10 * sim.Microsecond, Retries: 3,
+			OnGiveUp: func() { gaveUp++ },
+		})
+	})
+	cl.Eng.Run()
+	if client.Sent != 0 || client.Rejected != 1 {
+		t.Fatalf("Sent=%d Rejected=%d, want 0/1: rejects must not count as sends",
+			client.Sent, client.Rejected)
+	}
+	if gaveUp != 1 {
+		t.Fatalf("OnGiveUp fired %d times, want exactly 1 (no retry of a shed request)", gaveUp)
+	}
+	if client.Lat.Count() != 0 {
+		t.Fatalf("latency samples %d, want 0 for a request that never left the edge", client.Lat.Count())
+	}
+	if client.Offered() != 1 {
+		t.Fatalf("Offered() = %d, want 1 (= Sent + Rejected)", client.Offered())
+	}
+	if client.Retried != 0 || q.latencies != 0 {
+		t.Fatalf("Retried=%d qosLatencies=%d, want 0/0", client.Retried, q.latencies)
+	}
+}

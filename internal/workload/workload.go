@@ -29,6 +29,17 @@ type Client struct {
 	Lat *stats.Sample
 	// Sent/Received count requests and responses; Retried counts
 	// timeout-driven re-sends.
+	//
+	// Accounting contract: every request handed to Send ends up in
+	// exactly one of two ledgers. A request the QoS hook refuses is
+	// shed at the edge — Rejected increments, OnGiveUp fires, and
+	// nothing else happens: no Sent, no latency sample, no retries. A
+	// request that passes admission increments Sent (once, whatever the
+	// retry count) and then either lands (Received, Lat) or is lost in
+	// flight (OnGiveUp after the final timeout). Completion-style
+	// ratios must therefore use Received/Sent for in-flight loss and
+	// report Rejected separately as edge shed; Offered() is the
+	// everything-attempted denominator.
 	Sent     uint64
 	Received uint64
 	Retried  uint64
@@ -36,6 +47,10 @@ type Client struct {
 	// reaching the wire (they are not counted in Sent).
 	Rejected uint64
 }
+
+// Offered returns every request the workload attempted: admitted sends
+// plus edge-rejected ones.
+func (cl *Client) Offered() uint64 { return cl.Sent + cl.Rejected }
 
 // QoSHook lets a multi-tenant QoS layer (internal/qos) gate and observe
 // client traffic without this package importing it. Both methods run on
@@ -105,7 +120,9 @@ type Request struct {
 	// Backoff multiplies the timeout after every unanswered attempt
 	// (capped exponential backoff; values ≤ 1 keep the interval fixed).
 	Backoff float64
-	// MaxTimeout caps the grown interval (0 = uncapped).
+	// MaxTimeout caps the grown interval. 0 falls back to
+	// MaxUncappedTimeout — exponential growth must saturate somewhere,
+	// or enough retries overflow sim.Time into a negative timer wait.
 	MaxTimeout sim.Time
 	// OnGiveUp, if set, fires when the final attempt also times out —
 	// the request is then lost from the client's point of view.
@@ -117,6 +134,14 @@ type Request struct {
 	Tenant uint16
 	Class  uint8
 }
+
+// MaxUncappedTimeout bounds exponential backoff growth when a Request
+// sets no MaxTimeout: doubling a microsecond-scale timeout ~60 times
+// overflows sim.Time (int64 nanoseconds) into a negative timer wait,
+// which the engine rejects as an event in the past. Ten seconds is far
+// past any simulated run window, so saturating there preserves the
+// "effectively unbounded" intent without the overflow.
+const MaxUncappedTimeout = 10 * sim.Second
 
 // Send issues one request now. The response latency is recorded in Lat
 // when the reply lands. With Timeout set, lost requests are re-sent up
@@ -189,11 +214,18 @@ func (cl *Client) send(r Request, stage func(m actor.Msg, size int)) {
 		}
 		wait := timeout
 		if r.Backoff > 1 {
-			next := sim.Time(float64(timeout) * r.Backoff)
-			if r.MaxTimeout > 0 && next > r.MaxTimeout {
-				next = r.MaxTimeout
+			ceil := r.MaxTimeout
+			if ceil <= 0 {
+				ceil = MaxUncappedTimeout
 			}
-			timeout = next
+			// Compare in float space: converting an out-of-range float
+			// to sim.Time is implementation-defined, so clamp before
+			// the conversion, not after.
+			if next := float64(timeout) * r.Backoff; next < float64(ceil) {
+				timeout = sim.Time(next)
+			} else {
+				timeout = ceil
+			}
 		}
 		if attempt < r.Retries {
 			attempt++
