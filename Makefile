@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet trace-smoke fault-smoke fault-pdes-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline qos-smoke
+.PHONY: build test check bench race vet trace-smoke fault-smoke fault-pdes-smoke migrate-pdes-smoke scale-smoke invariant-smoke pdes-smoke pdes-bench obs-smoke obs-gate obs-baseline qos-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,10 @@ vet:
 # partition windows, the QoS lane/admission path running one LaneSched
 # and Gate per partition under window-parallel execution, and the
 # window-boundary barrier-action path (sim.Group.AtBarrier) that runs
-# cluster-wide fault arms between conservative windows.
+# cluster-wide fault arms between conservative windows, and the
+# deferred-commit migration path (sim.Group.DeferBarrier, the
+# core/migrate.go commit point) that rewrites the actor table from
+# window execution.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/... \
 		./internal/fault/... ./internal/deploy/... ./internal/core/... \
@@ -60,6 +63,20 @@ fault-pdes-smoke:
 	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 4 -parallel 4 \
 		faults-pdes
 	@echo "fault-pdes-smoke: ok"
+
+# migrate-pdes-smoke: golden-replay the migrating partitioned mesh —
+# forced push+pull migrations whose node-local phases run on the owning
+# partition engine and whose cluster-visible commits defer to window
+# boundaries, with crash / NIC-down arms landing between the migration
+# phases — at 2 and 4 partitions; the per-partition invariant
+# fingerprints (including the migration conservation ledger) must match
+# byte-for-byte between worker counts.
+migrate-pdes-smoke:
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 2 -parallel 2 \
+		migrate-pdes
+	$(GO) run ./cmd/ipipe-bench -quick -check -pdes 4 -parallel 4 \
+		migrate-pdes
+	@echo "migrate-pdes-smoke: ok"
 
 # scale-smoke: run the sharded scale-out sweeps end to end (router,
 # multi-group deployment, client batching) in quick mode.
@@ -137,7 +154,7 @@ obs-baseline:
 
 # check: the CI step — static analysis, the race suite, and the
 # observability and invariant smoke tests.
-check: vet race trace-smoke fault-smoke fault-pdes-smoke scale-smoke invariant-smoke pdes-smoke qos-smoke obs-smoke obs-gate
+check: vet race trace-smoke fault-smoke fault-pdes-smoke migrate-pdes-smoke scale-smoke invariant-smoke pdes-smoke qos-smoke obs-smoke obs-gate
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/ ./internal/bench/

@@ -205,6 +205,12 @@ func (s MigState) String() string {
 	}
 }
 
+// InFlight reports whether the actor is mid-migration (any state past
+// Stable): its placement is being rewritten by the §3.2.5 machinery,
+// so bulk placement changes (crash re-homing, forced migrations) must
+// skip it and let the in-flight protocol's commit finish the hand-off.
+func (s MigState) InFlight() bool { return s != Stable }
+
 // Dispersion returns the scheduler's dispersion measure for the actor:
 // µ+3σ of its request execution latency (§3.2.3).
 func (a *Actor) Dispersion() float64 { return a.ExecStats.Tail() }
@@ -305,11 +311,16 @@ type Ref struct {
 // atomic pointer, while writers clone the map under a mutex and swap
 // the pointer. Reads therefore never block and never race, which is
 // what lets a partitioned (PDES) run keep the table shared while
-// fault arms rewrite placements (NIC-down re-homing, watchdog kills)
-// on one partition: remote partitions only ever consume the immutable
-// Node field of a Ref, so a read that lands on either side of a swap
-// is equally correct. Writes are rare (registration, failures, kills)
-// next to per-message lookups, so the clone cost is irrelevant.
+// placements are rewritten: remote partitions only ever consume the
+// immutable Node field of a Ref, so a read that lands on either side
+// of a swap is equally correct. Under PDES the writers themselves are
+// additionally serialized at conservative-window boundaries — watchdog
+// kills drain at round hooks and migration/re-homing commits run as
+// deferred barrier actions (core/migrate.go) — so the table is
+// single-writer at any worker count and the write *order* is a pure
+// function of simulation state. Writes are rare (registration,
+// migrations, failures, kills) next to per-message lookups, so the
+// clone cost is irrelevant.
 type Table struct {
 	refs atomic.Pointer[map[ID]Ref]
 	mu   sync.Mutex // serializes writers

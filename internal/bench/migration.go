@@ -139,6 +139,11 @@ func fig18(opts Options) *Result {
 			want = "Consensus"
 		}
 		for ci, cand := range recs {
+			// Pull records (host→NIC) are a different protocol; Figure 18
+			// measures the 4-phase push only.
+			if cand.Pull {
+				continue
+			}
 			if !used[ci] && cand.Actor != "" && actorLabel(cand.Actor) == want {
 				rec, found = cand, true
 				used[ci] = true
@@ -156,6 +161,9 @@ func fig18(opts Options) *Result {
 	}
 	if len(r.Rows) == 0 {
 		for _, rec := range recs {
+			if rec.Pull {
+				continue
+			}
 			r.Add(rec.Actor, ms(rec.Phase[0]), ms(rec.Phase[1]), ms(rec.Phase[2]), ms(rec.Phase[3]),
 				ms(rec.Total()), rec.BytesMoved)
 			p3share += float64(rec.Phase[2])

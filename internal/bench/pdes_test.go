@@ -62,12 +62,13 @@ func TestScaleNodesPartsOverride(t *testing.T) {
 
 // TestGoldenReplayPDESSubset: the PDES replay axis holds on a quick
 // subset — the partitioned scale sweep, a classic experiment as the
-// unpartitioned control, and the faulted mesh (barrier-arm fault
-// injection at window boundaries) — with per-partition invariant
-// ledgers attached and fingerprints byte-compared between worker
-// counts.
+// unpartitioned control, the faulted mesh (barrier-arm fault injection
+// at window boundaries), and the migrating mesh (window-boundary
+// migration commits with fault arms landing mid-phase) — with
+// per-partition invariant ledgers attached and fingerprints
+// byte-compared between worker counts.
 func TestGoldenReplayPDESSubset(t *testing.T) {
-	rep, err := GoldenReplayPDES([]string{"scale-nodes", "fig17", "faults-pdes"}, Options{Quick: true, PDESParts: 2}, 2)
+	rep, err := GoldenReplayPDES([]string{"scale-nodes", "fig17", "faults-pdes", "migrate-pdes"}, Options{Quick: true, PDESParts: 2}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

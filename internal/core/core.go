@@ -112,10 +112,15 @@ func NewCluster(seed uint64) *Cluster {
 // picks the parallelism (any worker count produces byte-identical
 // results). parts = 1 degenerates to a classic cluster.
 //
-// Partitioned nodes must set Config.DisableMigration: placement changes
-// rewrite the shared actor table, which partitions read concurrently.
-// The per-invocation watchdog IS supported — its kill path is deferred
-// to the next conservative-window boundary, where the coordinator
+// The §3.2.5 push/pull actor migration IS supported: the protocol's
+// node-local phases run on the owning partition's engine and the
+// cluster-visible commit — the actor-table rewrite, the host/NIC
+// registration, the buffered re-dispatch — defers to the next
+// conservative-window boundary via sim.Group.DeferBarrier, so the
+// copy-on-write table stays single-writer and results are
+// byte-identical at any worker count (DESIGN.md §13). The
+// per-invocation watchdog is supported the same way — its kill path is
+// deferred to the next window boundary, where the coordinator
 // performs the table rewrite with no window in flight (kills land in
 // partition order, deterministically at any worker count). Fault
 // injection is supported too: fault.Install routes cluster-wide arms
@@ -238,14 +243,18 @@ type Config struct {
 	SchedOverride *sched.Config
 }
 
-// MigrationRecord captures one push migration's per-phase elapsed time
-// (Figure 18 and Appendix B.3).
+// MigrationRecord captures one migration's per-phase elapsed time
+// (Figure 18 and Appendix B.3). Push migrations fill all four phases;
+// pull migrations run a single object-move stage and record it as
+// Phase[2] with Pull set, so Node.Migrations accounts both directions.
 type MigrationRecord struct {
 	Actor      string
 	Start      sim.Time
 	Phase      [4]sim.Time // elapsed per phase
 	BytesMoved int
-	Buffered   int // requests forwarded in phase 4
+	Buffered   int // requests forwarded at commit (phase 4 on pushes)
+	// Pull marks a host→NIC pull migration (§3.2.5's reverse direction).
+	Pull bool
 }
 
 // Total returns the end-to-end migration time.
@@ -348,13 +357,11 @@ func (c *Cluster) AddNode(cfg Config) *Node {
 
 	eng, part := c.Eng, 0
 	if c.Group != nil {
-		if !cfg.DisableMigration {
-			panic(fmt.Sprintf("core: node %q on a partitioned cluster must set DisableMigration "+
-				"(migration rewrites the shared actor table under concurrent readers)", cfg.Name))
-		}
-		// The watchdog stays enabled: its kill path is deferred to the
-		// next window boundary (see killActor), where the coordinator
-		// rewrites the actor table with no window in flight.
+		// Migration IS supported here: the 4-phase protocol's node-local
+		// phases run on this partition's engine and its cluster-visible
+		// commit defers to the next window boundary (see migrate.go), so
+		// the shared actor table stays single-writer. The watchdog's kill
+		// path is deferred the same way (see killActor).
 		part = c.nextPart % c.Group.Partitions()
 		c.nextPart++
 		eng = c.Group.Engine(part)

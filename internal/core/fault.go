@@ -93,32 +93,40 @@ func (n *Node) FailNIC() {
 		return
 	}
 	n.nicDown = true
-	// Deterministic re-homing order: sorted actor IDs, never map order.
-	ids := make([]actor.ID, 0, len(n.actors))
-	for id := range n.actors {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		ref, ok := n.c.Table.Lookup(id)
-		if !ok || ref.Node != n.Name || !ref.OnNIC {
-			continue
+	// The re-homing is a cluster-visible placement change, so it runs at
+	// a commit point like any migration commit (migrate.go): inline on a
+	// classic cluster, at the next window boundary on a partitioned one.
+	// Eligibility is evaluated at commit time — an actor whose deferred
+	// migration commit landed first is already host-resident, and one
+	// still mid-flight is left to the migration machinery: a push commit
+	// lands it on the host anyway, and a pull commit sees nicDown and
+	// bounces it back (pullFromHost's dead-hardware guard).
+	n.commit(func() {
+		// Deterministic re-homing order: sorted actor IDs, never map order.
+		ids := make([]actor.ID, 0, len(n.actors))
+		for id := range n.actors {
+			ids = append(ids, id)
 		}
-		a := n.actors[id]
-		if a.State != actor.Stable {
-			// Mid-migration actors are already moving; the migration
-			// machinery finishes the hand-off.
-			continue
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			ref, ok := n.c.Table.Lookup(id)
+			if !ok || ref.Node != n.Name || !ref.OnNIC {
+				continue
+			}
+			a := n.actors[id]
+			if a.State.InFlight() {
+				continue
+			}
+			n.Sched.RemoveActor(id)
+			n.Objects.MigrateActor(uint32(id), dmo.Host)
+			n.Host.AddActor(a)
+			n.c.Table.Set(id, actor.Ref{Node: n.Name, OnNIC: false})
+			for _, m := range a.Mailbox.Drain() {
+				m.Via = actor.ViaRing
+				n.Host.Arrive(m)
+			}
 		}
-		n.Sched.RemoveActor(id)
-		n.Objects.MigrateActor(uint32(id), dmo.Host)
-		n.Host.AddActor(a)
-		n.c.Table.Set(id, actor.Ref{Node: n.Name, OnNIC: false})
-		for _, m := range a.Mailbox.Drain() {
-			m.Via = actor.ViaRing
-			n.Host.Arrive(m)
-		}
-	}
+	})
 }
 
 // RecoverNIC brings the SmartNIC complex back. Re-homed actors stay on

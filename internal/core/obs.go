@@ -241,6 +241,24 @@ func (n *Node) obsMigrate(a *actor.Actor, push bool) {
 	o.sink.Instant(o.schedTrack, "pull from host", n.eng.Now())
 }
 
+// obsMigrateCommit emits the migration's hand-off span on the sched
+// lane: start is when the protocol began its node-local phases, the
+// end is the commit point — under PDES the window boundary where the
+// coordinator applied the table rewrite. The span lands in the node's
+// own partition sink, so partitioned traces stay race-free and merge
+// byte-identically at any worker count.
+func (n *Node) obsMigrateCommit(a *actor.Actor, push bool, start sim.Time, bytes int) {
+	o := n.obs
+	if o == nil {
+		return
+	}
+	dir := "migrate→host "
+	if !push {
+		dir = "migrate→nic "
+	}
+	o.sink.Span(o.schedTrack, dir+actorLabel(a), start, n.eng.Now(), obs.Args{Bytes: bytes})
+}
+
 // obsAutoscale marks a core changing scheduling group.
 func (n *Node) obsAutoscale(coreID int, from, to sched.Mode) {
 	o := n.obs

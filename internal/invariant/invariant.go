@@ -98,6 +98,26 @@ type Checker struct {
 	admAdmitted uint64
 	admRejected uint64
 
+	// Migration conservation (§3.2.5 push/pull hand-offs): every begun
+	// migration resolves as exactly one commit or abort, and every
+	// request buffered at a commit point is forwarded by the protocol's
+	// final phase. Under PDES the commits run as deferred
+	// window-boundary actions, so these counters double as the ledger
+	// proving no hand-off was lost or doubled between a partition's
+	// local phases and the coordinator's commit.
+	migPushBegun     uint64
+	migPushCommitted uint64
+	migPullBegun     uint64
+	migPullCommitted uint64
+	migAborted       uint64
+	migBytes         uint64
+	migBuffered      uint64
+	migForwarded     uint64
+	// migInFlight tracks the actor each node is currently migrating:
+	// the scheduler's single-migration latch means at most one per node,
+	// so a second Begin before the first resolves is a latch breach.
+	migInFlight map[string]string
+
 	// DRR round-fairness state, per scheduler instance and core.
 	drr map[string]*drrSched
 
@@ -114,10 +134,11 @@ type dmoKey struct {
 // be nil in unit tests; violation timestamps are then zero.
 func New(eng *sim.Engine) *Checker {
 	return &Checker{
-		eng:       eng,
-		dmoShadow: map[dmoKey]int{},
-		drr:       map[string]*drrSched{},
-		leaders:   map[string]map[uint64]int{},
+		eng:         eng,
+		dmoShadow:   map[dmoKey]int{},
+		drr:         map[string]*drrSched{},
+		leaders:     map[string]map[uint64]int{},
+		migInFlight: map[string]string{},
 	}
 }
 
@@ -452,6 +473,85 @@ func (c *Checker) admissionBalance() {
 	}
 }
 
+// --- migration conservation ----------------------------------------------
+
+// MigrateBegin records a migration entering its node-local phases
+// (push: NIC→host drain/execute/DMO-move; pull: host→NIC object move)
+// and audits the scheduler's single-migration latch: a node beginning
+// a second migration before the first resolves has broken it.
+func (c *Checker) MigrateBegin(node, actor string, push bool) {
+	if c == nil {
+		return
+	}
+	if push {
+		c.migPushBegun++
+	} else {
+		c.migPullBegun++
+	}
+	c.checks++
+	if prev, busy := c.migInFlight[node]; busy {
+		c.violate("migration-latch",
+			"%s begins migrating %q while %q is still in flight (latch not held)",
+			node, actor, prev)
+		return
+	}
+	c.migInFlight[node] = actor
+}
+
+// MigrateCommit records the cluster-visible commit (table rewrite,
+// host/NIC registration) and the requests buffered while the actor was
+// in flight; resolutions must never exceed begun migrations.
+func (c *Checker) MigrateCommit(node, actor string, push bool, bytes, buffered int) {
+	if c == nil {
+		return
+	}
+	if push {
+		c.migPushCommitted++
+	} else {
+		c.migPullCommitted++
+	}
+	c.migBytes += uint64(bytes)
+	c.migBuffered += uint64(buffered)
+	c.migrationBalance(node, actor)
+}
+
+// MigrateAbort records a migration resolved without a placement change
+// (actor killed in flight, or bounced off dead hardware).
+func (c *Checker) MigrateAbort(node, actor string, push bool) {
+	if c == nil {
+		return
+	}
+	_ = push
+	c.migAborted++
+	c.migrationBalance(node, actor)
+}
+
+// MigrateForward records buffered requests re-dispatched by the final
+// phase; forwarding more than was ever buffered means a commit ran
+// twice.
+func (c *Checker) MigrateForward(node string, n int) {
+	if c == nil {
+		return
+	}
+	c.migForwarded += uint64(n)
+	c.checks++
+	if c.migForwarded > c.migBuffered {
+		c.violate("migration-conserve",
+			"%s: forwarded %d buffered requests but only %d were ever buffered (double commit?)",
+			node, c.migForwarded, c.migBuffered)
+	}
+}
+
+func (c *Checker) migrationBalance(node, actor string) {
+	c.checks++
+	if resolved := c.migPushCommitted + c.migPullCommitted + c.migAborted; resolved > c.migPushBegun+c.migPullBegun {
+		c.violate("migration-conserve",
+			"%s/%s: %d migrations resolved but only %d begun (double commit or double abort)",
+			node, actor, resolved, c.migPushBegun+c.migPullBegun)
+	}
+	delete(c.migInFlight, node)
+}
+
 // --- RKV leadership ------------------------------------------------------
 
 // LeaderClaim records a replica claiming leadership of a group at a
@@ -483,14 +583,16 @@ func (c *Checker) LeaderClaim(group string, ballot uint64, replica int) {
 // runs produce identical lines.
 func (c *Checker) countersLine() string {
 	return fmt.Sprintf(
-		"net=%d/%d/%d xfer=%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d lanes=%d/%d/%d adm=%d/%d/%d",
+		"net=%d/%d/%d xfer=%d/%d gate=%d/%d exec=%d queue=%d/%d drr=%d ring=%d dmo=%d/%d leaders=%d lanes=%d/%d/%d adm=%d/%d/%d mig=%d/%d/%d/%d/%d migio=%d/%d/%d",
 		c.netInjected, c.netDelivered, c.netDropped,
 		c.netXferOut, c.netXferIn,
 		c.gateAdmitted, c.gateDelivered,
 		c.execCompleted, c.queuePushes, c.queuePops, c.drrVisits,
 		c.ringOps, c.dmoAlloc, c.dmoFree, c.leaderCount(),
 		c.laneEnqueued, c.laneDelivered, c.laneShed,
-		c.admOffered, c.admAdmitted, c.admRejected)
+		c.admOffered, c.admAdmitted, c.admRejected,
+		c.migPushBegun, c.migPushCommitted, c.migPullBegun, c.migPullCommitted, c.migAborted,
+		c.migBytes, c.migBuffered, c.migForwarded)
 }
 
 func (c *Checker) leaderCount() int {

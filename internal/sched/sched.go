@@ -768,6 +768,26 @@ func (s *Scheduler) maybeMigrate() {
 	}
 }
 
+// TryLatchMigration acquires the single-migration latch from outside
+// the policy path (the runtime's forced MigrateNow/PullNow). It
+// returns false when a migration — policy-driven or forced — is
+// already in flight, so a forced migration can never interleave with
+// one and double-release the latch. On success the caller owns the
+// latch until the protocol calls MigrationDone; lastMigration is
+// stamped so the policy's cooldown spaces itself against forced
+// migrations too.
+func (s *Scheduler) TryLatchMigration() bool {
+	if s.migrationInFlight {
+		return false
+	}
+	s.migrationInFlight = true
+	s.lastMigration = s.eng.Now()
+	return true
+}
+
+// MigrationInFlight reports whether the single-migration latch is held.
+func (s *Scheduler) MigrationInFlight() bool { return s.migrationInFlight }
+
 // MigrationDone releases the single-migration latch (called by the
 // runtime when the 4-phase protocol finishes).
 func (s *Scheduler) MigrationDone() { s.migrationInFlight = false }

@@ -106,6 +106,13 @@ type Group struct {
 	barriers []barrierAction
 	bseq     uint64
 	floor    Time
+
+	// deferred holds window-boundary actions registered from *inside*
+	// window execution (see DeferBarrier): entry p is appended only by
+	// the goroutine running partition p's window and promoted to the
+	// barrier queue by the coordinator between rounds, in partition
+	// order — the same single-writer-per-slot pattern as xseq.
+	deferred [][]func()
 }
 
 // barrierAction is one queued window-boundary mutation.
@@ -125,9 +132,10 @@ func NewGroup(seed uint64, n int) *Group {
 		n = 1
 	}
 	g := &Group{
-		engs:    make([]*Engine, n),
-		inboxes: make([]inbox, n),
-		xseq:    make([]uint64, n),
+		engs:     make([]*Engine, n),
+		inboxes:  make([]inbox, n),
+		xseq:     make([]uint64, n),
+		deferred: make([][]func(), n),
 	}
 	for i := range g.engs {
 		g.engs[i] = NewEngine(seed + uint64(i)*goldenGamma)
@@ -207,6 +215,45 @@ func (g *Group) AtBarrier(at Time, fn func()) {
 	}
 	g.bseq++
 	g.barriers = append(g.barriers, barrierAction{at: at, seq: g.bseq, fn: fn})
+}
+
+// DeferBarrier queues fn to run at the next window boundary, callable
+// from *inside* partition part's window execution — the one context
+// AtBarrier forbids. This is how a mid-window event hands a
+// cluster-visible mutation (an actor-table rewrite, a migration
+// commit) to the coordinator: the fn is promoted to an AtBarrier
+// action at the window's limit when the round completes, so it runs
+// with no window in flight and every inbox drained, in a fixed order —
+// partition, then registration — that is a pure function of the round
+// structure and therefore identical at any worker count.
+//
+// On a single-partition group fn runs inline: there are no concurrent
+// readers to defer around, matching the classic-cluster path where the
+// same mutation commits immediately.
+func (g *Group) DeferBarrier(part int, fn func()) {
+	if fn == nil {
+		panic("sim: nil deferred barrier action")
+	}
+	if len(g.engs) == 1 {
+		fn()
+		return
+	}
+	g.deferred[part] = append(g.deferred[part], fn)
+}
+
+// promoteDeferred moves window-registered deferrals onto the barrier
+// queue at the completed round's limit. Runs on the coordinator after
+// the round's windows complete (the pool barrier orders the reads
+// after the window writes); the barrier branch of the next loop
+// iteration executes them — no pending event can precede the limit, so
+// the actions observe exactly the pre-limit state.
+func (g *Group) promoteDeferred(at Time) {
+	for p := range g.deferred {
+		for _, fn := range g.deferred[p] {
+			g.AtBarrier(at, fn)
+		}
+		g.deferred[p] = g.deferred[p][:0]
+	}
 }
 
 // nextBarrier returns the earliest queued barrier time, MaxTime if none.
@@ -433,6 +480,7 @@ func (g *Group) RunUntil(deadline Time, workers int) {
 		if limit > g.floor {
 			g.floor = limit
 		}
+		g.promoteDeferred(limit)
 		for _, fn := range g.onRound {
 			fn(limit)
 		}

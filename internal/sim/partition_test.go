@@ -381,3 +381,112 @@ func TestAtBarrierUnderUnboundedRun(t *testing.T) {
 		}
 	}
 }
+
+// TestDeferBarrierCommitsAtWindowBoundary: a mutation registered from
+// inside window execution runs at the window's limit — after every
+// event strictly before it, before every event at or past it — with
+// partition clocks normalized to limit-1, exactly like an AtBarrier
+// action registered up front.
+func TestDeferBarrierCommitsAtWindowBoundary(t *testing.T) {
+	g := NewGroup(1, 2)
+	g.TightenLookahead(Microsecond)
+	var trace []string
+	g.Engine(0).At(5*Microsecond, func() {
+		trace = append(trace, "p0@5")
+		g.DeferBarrier(0, func() {
+			trace = append(trace, "commit")
+			if n0, n1 := g.Engine(0).Now(), g.Engine(1).Now(); n0 != n1 {
+				t.Errorf("commit saw unnormalized clocks %v/%v", n0, n1)
+			}
+			// Follow-on engine work from a commit is legal.
+			g.Engine(1).At(g.Engine(1).Now()+Microsecond, func() { trace = append(trace, "followon") })
+		})
+	})
+	g.Engine(1).At(5*Microsecond, func() { trace = append(trace, "p1@5") })
+	g.Engine(1).At(8*Microsecond, func() { trace = append(trace, "p1@8") })
+	g.RunUntil(20*Microsecond, 1)
+	want := []string{"p0@5", "p1@5", "commit", "followon", "p1@8"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("deferred commit ordering:\n got %v\nwant %v", trace, want)
+	}
+}
+
+// TestDeferBarrierSinglePartition: with one partition there are no
+// concurrent readers to defer around; the mutation runs inline, like on
+// a classic engine.
+func TestDeferBarrierSinglePartition(t *testing.T) {
+	g := NewGroup(2, 1)
+	var trace []string
+	g.Engine(0).At(Microsecond, func() {
+		trace = append(trace, "event")
+		g.DeferBarrier(0, func() { trace = append(trace, "inline") })
+		trace = append(trace, "after")
+	})
+	g.RunUntil(2*Microsecond, 1)
+	want := []string{"event", "inline", "after"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("single-partition defer:\n got %v\nwant %v", trace, want)
+	}
+}
+
+// TestDeferBarrierPartitionOrder: deferrals from different partitions
+// in the same round run in partition order, not in whatever order the
+// window goroutines happened to reach them — run under a full worker
+// pool to make the distinction real.
+func TestDeferBarrierPartitionOrder(t *testing.T) {
+	g := NewGroup(3, 3)
+	g.TightenLookahead(Microsecond)
+	var order []string // appended only from coordinator context
+	for i := 2; i >= 0; i-- {
+		i := i
+		g.Engine(i).At(5*Microsecond, func() {
+			g.DeferBarrier(i, func() { order = append(order, fmt.Sprintf("p%d", i)) })
+		})
+	}
+	g.RunUntil(10*Microsecond, 3)
+	want := []string{"p0", "p1", "p2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("deferred commits ran in order %v, want partition order %v", order, want)
+	}
+}
+
+// TestDeferBarrierDeterminismAcrossWorkers: the ping mesh with every
+// partition deferring shared-state mutations mid-window produces the
+// same mutation log at any worker count.
+func TestDeferBarrierDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		const parts, deadline = 4, 200 * Microsecond
+		const lookahead = 900 * Nanosecond
+		g := NewGroup(11, parts)
+		g.TightenLookahead(lookahead)
+		shared := 0
+		var out []string
+		for i := 0; i < parts; i++ {
+			i := i
+			e := g.Engine(i)
+			var tick func(n uint64)
+			tick = func(n uint64) {
+				draw := e.Rand().Uint64()
+				if n%5 == uint64(i) {
+					at, d := e.Now(), draw
+					g.DeferBarrier(i, func() {
+						shared++
+						out = append(out, fmt.Sprintf("p%d t=%d draw=%d shared=%d", i, int64(at), d%997, shared))
+					})
+				}
+				if next := e.Now() + Time(300+draw%900); next <= deadline {
+					e.At(next, func() { tick(n + 1) })
+				}
+			}
+			e.At(Time(i+1)*Microsecond, func() { tick(0) })
+		}
+		g.RunUntil(deadline, workers)
+		return fmt.Sprint(out)
+	}
+	base := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); got != base {
+			t.Fatalf("deferred-commit run diverged at %d workers", w)
+		}
+	}
+}
